@@ -1,0 +1,249 @@
+//! Seed lookup, diagonal grouping, and ungapped verification.
+
+use crate::index::SeedIndex;
+use bioseq::{DnaSeq, Read};
+use kmer::KmerIter;
+use std::collections::HashMap;
+
+/// Alignment parameters.
+#[derive(Debug, Clone)]
+pub struct AlignParams {
+    /// Minimum seeds on the same diagonal before verification is attempted.
+    pub min_seeds: usize,
+    /// Stride between query seeds taken from the read.
+    pub seed_stride: usize,
+    /// Minimum read↔contig overlap length to accept.
+    pub min_overlap: usize,
+    /// Maximum mismatch fraction within the overlap.
+    pub max_mismatch_frac: f64,
+}
+
+impl Default for AlignParams {
+    fn default() -> Self {
+        AlignParams {
+            min_seeds: 2,
+            seed_stride: 4,
+            min_overlap: 30,
+            max_mismatch_frac: 0.1,
+        }
+    }
+}
+
+/// A verified read-to-contig alignment.
+///
+/// Coordinates are in contig space for the read *as oriented* (`rc == true`
+/// means the reverse complement of the read aligns forward to the contig).
+/// `offset` is the contig position of oriented-read base 0 and may be
+/// negative (read hangs off the left end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlignHit {
+    pub contig: u32,
+    /// Contig coordinate of oriented-read base 0 (can be negative).
+    pub offset: i64,
+    /// True if the read's reverse complement is the aligning orientation.
+    pub rc: bool,
+    /// Bases compared (overlap of read extent and contig extent).
+    pub overlap: u32,
+    /// Mismatches within the overlap.
+    pub mismatches: u32,
+}
+
+/// Align one read against the index; returns all accepted alignments
+/// (at most one per (contig, orientation, diagonal) group).
+pub fn align_read(
+    idx: &SeedIndex,
+    contigs: &[DnaSeq],
+    read: &Read,
+    params: &AlignParams,
+) -> Vec<AlignHit> {
+    let k = idx.seed_k();
+    if read.len() < k {
+        return Vec::new();
+    }
+    // (contig, rc, diagonal) -> seed count
+    let mut groups: HashMap<(u32, bool, i64), usize> = HashMap::new();
+    let rlen = read.len() as i64;
+    for (pos, km) in KmerIter::new(&read.seq, k) {
+        if pos % params.seed_stride != 0 {
+            continue;
+        }
+        let canon = km.canonical();
+        let read_fwd = canon == km;
+        for hit in idx.lookup(&canon) {
+            // Same strand sense => read-forward alignment.
+            let rc = hit.fwd != read_fwd;
+            let diag = if rc {
+                // In rc-read coordinates the seed starts at rlen - k - pos.
+                i64::from(hit.pos) - (rlen - k as i64 - pos as i64)
+            } else {
+                i64::from(hit.pos) - pos as i64
+            };
+            *groups.entry((hit.contig, rc, diag)).or_insert(0) += 1;
+        }
+    }
+
+    let mut hits = Vec::new();
+    let mut seen: Vec<(u32, bool)> = Vec::new();
+    let mut sorted: Vec<((u32, bool, i64), usize)> = groups.into_iter().collect();
+    // Strongest groups first; deterministic tie-break on the key.
+    sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for ((contig, rc, diag), seeds) in sorted {
+        if seeds < params.min_seeds {
+            continue;
+        }
+        // One alignment per (contig, orientation): keep the best diagonal.
+        if seen.contains(&(contig, rc)) {
+            continue;
+        }
+        let oriented;
+        let oriented_ref: &DnaSeq = if rc {
+            oriented = read.seq.revcomp();
+            &oriented
+        } else {
+            &read.seq
+        };
+        if let Some(hit) = verify(contigs, contig, diag, rc, oriented_ref, params) {
+            hits.push(hit);
+            seen.push((contig, rc));
+        }
+    }
+    hits.sort_by_key(|h| (h.contig, h.rc, h.offset));
+    hits
+}
+
+/// Ungapped verification of an oriented read at a fixed diagonal.
+fn verify(
+    contigs: &[DnaSeq],
+    contig: u32,
+    offset: i64,
+    rc: bool,
+    oriented: &DnaSeq,
+    params: &AlignParams,
+) -> Option<AlignHit> {
+    let ctg = &contigs[contig as usize];
+    let clen = ctg.len() as i64;
+    let rlen = oriented.len() as i64;
+    let start = offset.max(0);
+    let end = (offset + rlen).min(clen);
+    let overlap = end - start;
+    if overlap < params.min_overlap as i64 {
+        return None;
+    }
+    let mut mismatches = 0u32;
+    for cpos in start..end {
+        let rpos = (cpos - offset) as usize;
+        if ctg.code(cpos as usize) != oriented.code(rpos) {
+            mismatches += 1;
+        }
+    }
+    if f64::from(mismatches) > params.max_mismatch_frac * overlap as f64 {
+        return None;
+    }
+    Some(AlignHit {
+        contig,
+        offset,
+        rc,
+        overlap: overlap as u32,
+        mismatches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_seq(len: usize, seed: u64) -> DnaSeq {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| bioseq::Base::from_code(rng.gen_range(0..4)))
+            .collect()
+    }
+
+    fn setup(len: usize) -> (Vec<DnaSeq>, SeedIndex) {
+        let c = random_seq(len, 99);
+        let idx = SeedIndex::build(std::slice::from_ref(&c), 17, 200);
+        (vec![c], idx)
+    }
+
+    #[test]
+    fn exact_interior_read_aligns() {
+        let (contigs, idx) = setup(500);
+        let read = Read::with_uniform_qual("r", contigs[0].subseq(100, 100), 35);
+        let hits = align_read(&idx, &contigs, &read, &AlignParams::default());
+        assert_eq!(hits.len(), 1);
+        let h = hits[0];
+        assert_eq!(h.offset, 100);
+        assert!(!h.rc);
+        assert_eq!(h.overlap, 100);
+        assert_eq!(h.mismatches, 0);
+    }
+
+    #[test]
+    fn rc_read_aligns_with_rc_flag() {
+        let (contigs, idx) = setup(500);
+        let read = Read::with_uniform_qual("r", contigs[0].subseq(200, 100).revcomp(), 35);
+        let hits = align_read(&idx, &contigs, &read, &AlignParams::default());
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].rc);
+        assert_eq!(hits[0].offset, 200);
+        assert_eq!(hits[0].mismatches, 0);
+    }
+
+    #[test]
+    fn read_with_errors_still_aligns() {
+        let (contigs, idx) = setup(500);
+        let mut codes = contigs[0].subseq(50, 100).codes().to_vec();
+        codes[10] ^= 1;
+        codes[60] ^= 2;
+        let read = Read::with_uniform_qual("r", DnaSeq::from_codes(codes), 35);
+        let hits = align_read(&idx, &contigs, &read, &AlignParams::default());
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].mismatches, 2);
+    }
+
+    #[test]
+    fn overhanging_read_has_negative_offset() {
+        let (contigs, idx) = setup(500);
+        // Read = 40 novel bases + first 60 contig bases: hangs off the left.
+        let mut seq = random_seq(40, 7);
+        seq.extend_from(&contigs[0].subseq(0, 60));
+        let read = Read::with_uniform_qual("r", seq, 35);
+        let hits = align_read(&idx, &contigs, &read, &AlignParams::default());
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].offset, -40);
+        assert_eq!(hits[0].overlap, 60);
+    }
+
+    #[test]
+    fn unrelated_read_no_hit() {
+        let (contigs, idx) = setup(500);
+        let read = Read::with_uniform_qual("r", random_seq(100, 12345), 35);
+        let hits = align_read(&idx, &contigs, &read, &AlignParams::default());
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn short_overlap_rejected() {
+        let (contigs, idx) = setup(500);
+        // Only 20 bases overlap the contig's right end.
+        let mut seq = contigs[0].subseq(480, 20);
+        seq.extend_from(&random_seq(80, 55));
+        let read = Read::with_uniform_qual("r", seq, 35);
+        let hits = align_read(&idx, &contigs, &read, &AlignParams::default());
+        assert!(hits.is_empty(), "20 < min_overlap 30 must reject");
+    }
+
+    #[test]
+    fn multi_contig_hits_are_separate() {
+        let a = random_seq(300, 1);
+        let b = random_seq(300, 2);
+        let contigs = vec![a.clone(), b.clone()];
+        let idx = SeedIndex::build(&contigs, 17, 200);
+        let read = Read::with_uniform_qual("r", a.subseq(100, 80), 35);
+        let hits = align_read(&idx, &contigs, &read, &AlignParams::default());
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].contig, 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Criterion bench: the upstream pipeline substrates — k-mer counting and
+//! contig generation (the "k-mer analysis" / "contig generation" phases).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::arcticsynth_like;
+use dbg::{count_kmers, generate_contigs, DbgGraph};
+use mhm::{merge_reads, MergeParams};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_dbg(c: &mut Criterion) {
+    let (_, pairs) = arcticsynth_like(0.02).generate();
+    let (reads, _) = merge_reads(&pairs, &MergeParams::default());
+
+    let mut group = c.benchmark_group("dbg");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for k in [21usize, 31, 41] {
+        group.bench_function(format!("count_kmers_k{k}"), |b| {
+            b.iter(|| black_box(count_kmers(&reads, k, 2)))
+        });
+    }
+
+    let counts = count_kmers(&reads, 31, 2);
+    group.bench_function("generate_contigs_k31", |b| {
+        b.iter_batched(
+            || DbgGraph::new(31, counts.clone()),
+            |graph| black_box(generate_contigs(&graph, 2)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dbg);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks of the k-mer primitives the kernels lean on:
+//! extraction from packed words, murmur2 hashing, shift-walks, and the
+//! pointer-key comparison (backs the §3.2 compact-key discussion).
+
+use bioseq::{DnaSeq, PackedSeq};
+use criterion::{criterion_group, criterion_main, Criterion};
+use kmer::hash::{hash_kmer, murmur64a};
+use kmer::Kmer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn random_seq(len: usize, sd: u64) -> DnaSeq {
+    let mut rng = StdRng::seed_from_u64(sd);
+    (0..len)
+        .map(|_| bioseq::Base::from_code(rng.gen_range(0..4)))
+        .collect()
+}
+
+fn bench_kmer_ops(c: &mut Criterion) {
+    let seq = random_seq(10_000, 1);
+    let packed = PackedSeq::from_seq(&seq);
+    let mut group = c.benchmark_group("kmer_ops");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+
+    for k in [21usize, 55, 99] {
+        group.bench_function(format!("extract_from_packed_k{k}"), |b| {
+            let mut pos = 0usize;
+            b.iter(|| {
+                pos = (pos + 37) % (seq.len() - k);
+                black_box(Kmer::from_packed_words(packed.words(), pos, k))
+            })
+        });
+        let km = Kmer::from_seq(&seq, 100, k);
+        group.bench_function(format!("hash_k{k}"), |b| b.iter(|| black_box(hash_kmer(&km))));
+        group.bench_function(format!("shift_right_k{k}"), |b| {
+            let mut cur = km;
+            b.iter(|| {
+                cur = cur.shift_right(bioseq::Base::C);
+                black_box(cur)
+            })
+        });
+    }
+
+    group.bench_function("murmur64a_32B", |b| {
+        let data = [7u8; 32];
+        b.iter(|| black_box(murmur64a(&data, 11)))
+    });
+
+    // Pointer-key comparison: re-extract + compare vs direct word compare.
+    let k = 55;
+    let a = Kmer::from_seq(&seq, 500, k);
+    group.bench_function("key_compare_pointer_deref", |b| {
+        b.iter(|| {
+            let stored = Kmer::from_packed_words(packed.words(), 500, k);
+            black_box(stored == a)
+        })
+    });
+    group.bench_function("key_compare_materialized", |b| {
+        let stored = Kmer::from_seq(&seq, 500, k);
+        b.iter(|| black_box(stored == a))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmer_ops);
+criterion_main!(benches);

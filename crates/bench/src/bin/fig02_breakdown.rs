@@ -1,0 +1,38 @@
+//! Figure 2a/2b: MetaHipMer2 run-time breakdown on 64 Summit nodes (WA
+//! dataset), with CPU vs GPU local assembly.
+//!
+//! The CPU breakdown (2a) is the paper-anchored profile; the GPU breakdown
+//! (2b) is *predicted* by the scaling model (only the two Fig. 13 speedup
+//! points were fitted) and compared against the paper's observed 2b values:
+//! total 1495 s and local assembly at 6%.
+
+use mhm::report::render_breakdown;
+use mhm::scaling::{PaperAnchors, ScalingModel};
+use mhm::Phase;
+
+fn main() {
+    let model = ScalingModel::from_anchors(PaperAnchors::default());
+
+    let cpu = model.pipeline_at(64.0, false);
+    let gpu = model.pipeline_at(64.0, true);
+
+    println!("=== Figure 2a: 64-node WA breakdown, CPU local assembly ===\n");
+    println!("{}", render_breakdown("CPU local assembly (anchored on paper)", &cpu));
+    println!(
+        "paper: total 2128 s, local assembly 34%  |  model: total {:.0} s, local assembly {:.1}%\n",
+        cpu.total(),
+        100.0 * cpu.get(Phase::LocalAssembly) / cpu.total()
+    );
+
+    println!("=== Figure 2b: 64-node WA breakdown, GPU local assembly ===\n");
+    println!("{}", render_breakdown("GPU local assembly (model prediction)", &gpu));
+    println!(
+        "paper: total 1495 s, local assembly 6%   |  model: total {:.0} s, local assembly {:.1}%",
+        gpu.total(),
+        100.0 * gpu.get(Phase::LocalAssembly) / gpu.total()
+    );
+    println!(
+        "\nend-to-end improvement at 64 nodes: paper ~42%, model {:.1}%",
+        model.overall_speedup_pct(64.0)
+    );
+}

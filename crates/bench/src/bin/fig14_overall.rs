@@ -1,0 +1,35 @@
+//! Figure 14: total MetaHipMer2 pipeline run time with and without GPU
+//! local assembly, 64–1024 Summit nodes, with the speedup-percentage
+//! triangles.
+//!
+//! Paper claims: ~42% peak improvement at up to 128 nodes, decaying as the
+//! pipeline becomes communication-dominated and per-GPU work shrinks.
+
+use mhm::report::render_table;
+use mhm::scaling::{PaperAnchors, ScalingModel};
+
+fn main() {
+    let model = ScalingModel::from_anchors(PaperAnchors::default());
+    println!("=== Figure 14: overall pipeline, with vs without GPU local assembly ===\n");
+    let mut rows = Vec::new();
+    for nodes in [64.0, 128.0, 256.0, 512.0, 1024.0] {
+        let cpu = model.pipeline_at(nodes, false).total();
+        let gpu = model.pipeline_at(nodes, true).total();
+        rows.push(vec![
+            format!("{nodes:.0}"),
+            format!("{cpu:.0}"),
+            format!("{gpu:.0}"),
+            format!("{:.1}%", model.overall_speedup_pct(nodes)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["nodes", "total CPU-LA (s)", "total GPU-LA (s)", "speedup"],
+            &rows
+        )
+    );
+    println!("paper: ~42% at 64-128 nodes (64-node totals 2128 s -> 1495 s), decaying");
+    println!("with node count; the 512->1024 cliff in the paper is run-to-run variance");
+    println!("in communication-heavy phases (single runs), which we model smoothly.");
+}

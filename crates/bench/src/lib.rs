@@ -1,0 +1,83 @@
+//! Shared workload construction for the figure harnesses and benches.
+//!
+//! The paper's standalone kernel studies use "a data dump" of the contigs
+//! and candidate reads flowing into local assembly (§4.1). [`local_assembly_dump`]
+//! reproduces that: it runs the upstream pipeline (merge → k-mer analysis →
+//! contig generation → alignment) on a preset and returns the extension
+//! tasks, exactly what the GPU kernels consume.
+
+use align::{collect_candidates, CandidateParams, SeedIndex};
+use bioseq::{DnaSeq, Read};
+use datagen::Preset;
+use dbg::{count_kmers, generate_contigs, DbgGraph};
+use locassm::{make_tasks, ExtTask, LocalAssemblyParams};
+use mhm::{merge_reads, MergeParams};
+
+/// The upstream dump feeding local assembly.
+pub struct Dump {
+    /// Contigs from the upstream pipeline.
+    pub contigs: Vec<DnaSeq>,
+    /// Normalized extension tasks (two per contig).
+    pub tasks: Vec<ExtTask>,
+    /// Reads used (post-merge).
+    pub reads: Vec<Read>,
+}
+
+/// Parameters for dump generation.
+pub struct DumpConfig {
+    /// Contig-generation k.
+    pub k: usize,
+    /// Minimum contig length kept.
+    pub min_contig_len: usize,
+    /// Local-assembly parameter set used for task normalization.
+    pub locassm: LocalAssemblyParams,
+    /// Candidate-read selection criteria.
+    pub candidates: CandidateParams,
+}
+
+impl Default for DumpConfig {
+    fn default() -> Self {
+        DumpConfig {
+            k: 31,
+            min_contig_len: 100,
+            locassm: LocalAssemblyParams::for_tests(),
+            candidates: CandidateParams::default(),
+        }
+    }
+}
+
+/// Run the upstream pipeline on a preset and dump local-assembly inputs.
+pub fn local_assembly_dump(preset: &Preset, cfg: &DumpConfig) -> Dump {
+    let (_, pairs) = preset.generate();
+    let (reads, _) = merge_reads(&pairs, &MergeParams::default());
+    let counts = count_kmers(&reads, cfg.k, 2);
+    let graph = DbgGraph::new(cfg.k, counts);
+    let contigs: Vec<DnaSeq> = generate_contigs(&graph, 2)
+        .into_iter()
+        .filter(|c| c.len() >= cfg.min_contig_len)
+        .map(|c| c.seq)
+        .collect();
+    let idx = SeedIndex::build(&contigs, 17, 200);
+    let cands = collect_candidates(&contigs, &reads, &idx, &cfg.candidates);
+    let cand_pairs: Vec<(Vec<Read>, Vec<Read>)> =
+        cands.into_iter().map(|c| (c.right, c.left)).collect();
+    let tasks = make_tasks(&contigs, &cand_pairs, &cfg.locassm);
+    Dump { contigs, tasks, reads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::arcticsynth_like;
+
+    #[test]
+    fn dump_produces_tasks_with_reads() {
+        let dump = local_assembly_dump(&arcticsynth_like(0.01), &DumpConfig::default());
+        assert!(!dump.contigs.is_empty());
+        assert_eq!(dump.tasks.len(), dump.contigs.len() * 2);
+        assert!(
+            dump.tasks.iter().any(|t| !t.reads.is_empty()),
+            "some tasks must have candidate reads"
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! FASTQ and FASTA parsing / writing.
+//!
+//! Parsing is line-oriented and allocation-light (a workhorse `String` per
+//! record field). Reads containing `N` or other ambiguity codes are handled
+//! per [`NPolicy`]: metagenome assemblers either drop such reads or split
+//! them; MetaHipMer2 effectively ignores k-mers containing `N`, which at our
+//! scale is well-approximated by dropping the read (the default) or
+//! substituting a fixed base (useful for tests).
+
+use crate::qual;
+use crate::read::{PairedRead, Read};
+use crate::seq::DnaSeq;
+use std::io::{self, BufRead, Write};
+
+/// What to do with reads whose sequence contains non-ACGT characters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NPolicy {
+    /// Skip the whole read (MetaHipMer-like behaviour at k-mer level).
+    #[default]
+    Drop,
+    /// Replace each ambiguous character with `A` at quality 0.
+    SubstituteA,
+    /// Return an error.
+    Error,
+}
+
+/// FASTQ parse error.
+#[derive(Debug)]
+pub enum ParseError {
+    Io(io::Error),
+    /// Malformed record; the message includes the line number.
+    Format(String),
+    /// An ambiguous base was found and the policy is [`NPolicy::Error`].
+    AmbiguousBase { record: String },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "I/O error: {e}"),
+            ParseError::Format(m) => write!(f, "malformed FASTQ: {m}"),
+            ParseError::AmbiguousBase { record } => {
+                write!(f, "ambiguous base in record {record}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Parse all records from a FASTQ stream.
+///
+/// Returns the parsed reads plus the number of records dropped by the
+/// `NPolicy::Drop` policy.
+pub fn parse_fastq<R: BufRead>(reader: R, policy: NPolicy) -> Result<(Vec<Read>, usize), ParseError> {
+    let mut reads = Vec::new();
+    let mut dropped = 0usize;
+    let mut lines = reader.lines();
+    let mut lineno = 0usize;
+    loop {
+        let Some(header) = lines.next() else { break };
+        let header = header?;
+        lineno += 1;
+        if header.is_empty() {
+            continue;
+        }
+        if !header.starts_with('@') {
+            return Err(ParseError::Format(format!(
+                "line {lineno}: expected '@', got {:?}",
+                header.chars().next()
+            )));
+        }
+        let id = header[1..].split_whitespace().next().unwrap_or("").to_string();
+        let seq_line = next_line(&mut lines, &mut lineno)?;
+        let plus = next_line(&mut lines, &mut lineno)?;
+        if !plus.starts_with('+') {
+            return Err(ParseError::Format(format!("line {lineno}: expected '+'")));
+        }
+        let qual_line = next_line(&mut lines, &mut lineno)?;
+        if qual_line.len() != seq_line.len() {
+            return Err(ParseError::Format(format!(
+                "line {lineno}: quality length {} != sequence length {}",
+                qual_line.len(),
+                seq_line.len()
+            )));
+        }
+        match record_to_read(&id, seq_line.as_bytes(), qual_line.as_bytes(), policy) {
+            Ok(Some(r)) => reads.push(r),
+            Ok(None) => dropped += 1,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((reads, dropped))
+}
+
+fn next_line(
+    lines: &mut std::io::Lines<impl BufRead>,
+    lineno: &mut usize,
+) -> Result<String, ParseError> {
+    *lineno += 1;
+    lines
+        .next()
+        .ok_or_else(|| ParseError::Format(format!("line {lineno}: unexpected end of file")))?
+        .map_err(ParseError::Io)
+}
+
+fn record_to_read(
+    id: &str,
+    seq: &[u8],
+    quals_ascii: &[u8],
+    policy: NPolicy,
+) -> Result<Option<Read>, ParseError> {
+    let mut codes = Vec::with_capacity(seq.len());
+    let mut quals = Vec::with_capacity(seq.len());
+    for (&ch, &qa) in seq.iter().zip(quals_ascii) {
+        match crate::base::Base::from_ascii(ch) {
+            Some(b) => {
+                codes.push(b.code());
+                quals.push(qual::decode_ascii(qa));
+            }
+            None => match policy {
+                NPolicy::Drop => return Ok(None),
+                NPolicy::SubstituteA => {
+                    codes.push(0);
+                    quals.push(0);
+                }
+                NPolicy::Error => {
+                    return Err(ParseError::AmbiguousBase { record: id.to_string() })
+                }
+            },
+        }
+    }
+    Ok(Some(Read::new(id, DnaSeq::from_codes(codes), quals)))
+}
+
+/// Write reads in FASTQ format.
+pub fn write_fastq<W: Write>(mut w: W, reads: &[Read]) -> io::Result<()> {
+    for r in reads {
+        writeln!(w, "@{}", r.id)?;
+        w.write_all(&r.seq.to_ascii())?;
+        writeln!(w)?;
+        writeln!(w, "+")?;
+        let q: Vec<u8> = r.quals.iter().map(|&q| qual::encode_ascii(q)).collect();
+        w.write_all(&q)?;
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Interleave two mate files that were parsed separately into pairs.
+///
+/// Pairs mates positionally; returns an error if the lengths differ.
+pub fn pair_up(r1: Vec<Read>, r2: Vec<Read>) -> Result<Vec<PairedRead>, ParseError> {
+    if r1.len() != r2.len() {
+        return Err(ParseError::Format(format!(
+            "mate file length mismatch: {} vs {}",
+            r1.len(),
+            r2.len()
+        )));
+    }
+    Ok(r1
+        .into_iter()
+        .zip(r2)
+        .map(|(a, b)| PairedRead::new(a, b))
+        .collect())
+}
+
+/// Write sequences in FASTA format with `width`-column wrapping.
+pub fn write_fasta<W: Write>(
+    mut w: W,
+    records: impl IntoIterator<Item = (String, DnaSeq)>,
+    width: usize,
+) -> io::Result<()> {
+    let width = width.max(1);
+    for (id, seq) in records {
+        writeln!(w, ">{id}")?;
+        let ascii = seq.to_ascii();
+        for chunk in ascii.chunks(width) {
+            w.write_all(chunk)?;
+            writeln!(w)?;
+        }
+    }
+    Ok(())
+}
+
+/// Parse a FASTA stream into `(id, sequence)` pairs. Ambiguous bases follow
+/// the same policy as FASTQ parsing, applied per-record.
+pub fn parse_fasta<R: BufRead>(
+    reader: R,
+    policy: NPolicy,
+) -> Result<(Vec<(String, DnaSeq)>, usize), ParseError> {
+    let mut out: Vec<(String, DnaSeq)> = Vec::new();
+    let mut dropped = 0usize;
+    let mut cur_id: Option<String> = None;
+    let mut cur_seq = String::new();
+    let flush = |id: Option<String>, seq: &str, out: &mut Vec<(String, DnaSeq)>, dropped: &mut usize| -> Result<(), ParseError> {
+        let Some(id) = id else { return Ok(()) };
+        match DnaSeq::from_ascii(seq.as_bytes()) {
+            Some(s) => out.push((id, s)),
+            None => match policy {
+                NPolicy::Drop => *dropped += 1,
+                NPolicy::SubstituteA => {
+                    let codes = seq
+                        .bytes()
+                        .map(|ch| crate::base::Base::from_ascii(ch).map_or(0, |b| b.code()))
+                        .collect();
+                    out.push((id, DnaSeq::from_codes(codes)));
+                }
+                NPolicy::Error => return Err(ParseError::AmbiguousBase { record: id }),
+            },
+        }
+        Ok(())
+    };
+    for line in reader.lines() {
+        let line = line?;
+        if let Some(rest) = line.strip_prefix('>') {
+            flush(cur_id.take(), &cur_seq, &mut out, &mut dropped)?;
+            cur_id = Some(rest.split_whitespace().next().unwrap_or("").to_string());
+            cur_seq.clear();
+        } else {
+            cur_seq.push_str(line.trim());
+        }
+    }
+    flush(cur_id.take(), &cur_seq, &mut out, &mut dropped)?;
+    Ok((out, dropped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "@r1 extra stuff\nACGT\n+\nIIII\n@r2\nTTTT\n+\n!!!!\n";
+
+    #[test]
+    fn parse_two_records() {
+        let (reads, dropped) = parse_fastq(Cursor::new(SAMPLE), NPolicy::Drop).unwrap();
+        assert_eq!(dropped, 0);
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].id, "r1");
+        assert_eq!(reads[0].seq.to_string(), "ACGT");
+        assert_eq!(reads[0].quals, vec![40, 40, 40, 40]);
+        assert_eq!(reads[1].quals, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn round_trip() {
+        let (reads, _) = parse_fastq(Cursor::new(SAMPLE), NPolicy::Drop).unwrap();
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &reads).unwrap();
+        let (reads2, _) = parse_fastq(Cursor::new(buf), NPolicy::Drop).unwrap();
+        assert_eq!(reads, reads2);
+    }
+
+    #[test]
+    fn n_policy_drop() {
+        let s = "@r1\nACNT\n+\nIIII\n@r2\nACGT\n+\nIIII\n";
+        let (reads, dropped) = parse_fastq(Cursor::new(s), NPolicy::Drop).unwrap();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(dropped, 1);
+        assert_eq!(reads[0].id, "r2");
+    }
+
+    #[test]
+    fn n_policy_substitute() {
+        let s = "@r1\nACNT\n+\nIIII\n";
+        let (reads, _) = parse_fastq(Cursor::new(s), NPolicy::SubstituteA).unwrap();
+        assert_eq!(reads[0].seq.to_string(), "ACAT");
+        assert_eq!(reads[0].quals[2], 0);
+    }
+
+    #[test]
+    fn n_policy_error() {
+        let s = "@r1\nACNT\n+\nIIII\n";
+        assert!(matches!(
+            parse_fastq(Cursor::new(s), NPolicy::Error),
+            Err(ParseError::AmbiguousBase { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_missing_plus() {
+        let s = "@r1\nACGT\nIIII\nACGT\n";
+        assert!(matches!(
+            parse_fastq(Cursor::new(s), NPolicy::Drop),
+            Err(ParseError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_qual_length() {
+        let s = "@r1\nACGT\n+\nII\n";
+        assert!(parse_fastq(Cursor::new(s), NPolicy::Drop).is_err());
+    }
+
+    #[test]
+    fn truncated_record() {
+        let s = "@r1\nACGT\n";
+        assert!(parse_fastq(Cursor::new(s), NPolicy::Drop).is_err());
+    }
+
+    #[test]
+    fn fasta_round_trip() {
+        let seqs = vec![
+            ("c1".to_string(), DnaSeq::from_str_strict("ACGTACGTACGT").unwrap()),
+            ("c2".to_string(), DnaSeq::from_str_strict("TT").unwrap()),
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, seqs.clone(), 5).unwrap();
+        let (parsed, dropped) = parse_fasta(Cursor::new(buf), NPolicy::Drop).unwrap();
+        assert_eq!(dropped, 0);
+        assert_eq!(parsed, seqs);
+    }
+
+    #[test]
+    fn pair_up_checks_length() {
+        let r = Read::with_uniform_qual("a", DnaSeq::from_str_strict("ACGT").unwrap(), 30);
+        assert!(pair_up(vec![r.clone()], vec![r.clone(), r.clone()]).is_err());
+        assert_eq!(pair_up(vec![r.clone()], vec![r]).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! DNA sequence primitives shared by every crate in the workspace.
+//!
+//! This crate provides the base-level vocabulary of the assembler:
+//!
+//! * [`Base`] — a single nucleotide with a 2-bit code,
+//! * [`DnaSeq`] — an unpacked sequence of 2-bit codes, the workhorse type for
+//!   hot algorithmic code,
+//! * [`PackedSeq`] — a 2-bit-packed sequence (4 bases/byte) used when memory
+//!   footprint matters (device buffers, read stores),
+//! * [`Read`] / [`PairedRead`] — sequencing reads with Phred+33 qualities,
+//! * FASTQ / FASTA parsing and writing ([`fastq`]).
+//!
+//! The representation choices mirror what MetaHipMer2 and the SC'21 GPU
+//! local-assembly paper rely on: sequences are over the 4-letter alphabet
+//! (reads containing `N` are handled at parse time by either rejecting or
+//! substituting), reverse complement is a first-class operation, and packed
+//! storage is word-addressable so a simulated GPU can load it in coalesced
+//! 64-bit words.
+
+pub mod base;
+pub mod fastq;
+pub mod packed;
+pub mod qual;
+pub mod read;
+pub mod seq;
+
+pub use base::Base;
+pub use packed::PackedSeq;
+pub use qual::{phred_to_prob, prob_to_phred, QualScore};
+pub use read::{PairedRead, Read};
+pub use seq::DnaSeq;

@@ -1,0 +1,77 @@
+//! Phred quality scores (Phred+33 ASCII encoding).
+
+/// A Phred quality score (probability that the base call is wrong is
+/// `10^(-q/10)`). Stored raw, not ASCII-offset.
+pub type QualScore = u8;
+
+/// The ASCII offset used by Illumina 1.8+ FASTQ ("Phred+33").
+pub const PHRED_OFFSET: u8 = 33;
+
+/// Highest score we emit/accept; Illumina caps around 41, we allow headroom.
+pub const MAX_QUAL: QualScore = 60;
+
+/// Decode an ASCII FASTQ quality character to a raw Phred score.
+///
+/// Values below the offset saturate to 0 rather than wrapping.
+#[inline]
+pub fn decode_ascii(ch: u8) -> QualScore {
+    ch.saturating_sub(PHRED_OFFSET).min(MAX_QUAL)
+}
+
+/// Encode a raw Phred score as an ASCII FASTQ character.
+#[inline]
+pub fn encode_ascii(q: QualScore) -> u8 {
+    q.min(MAX_QUAL) + PHRED_OFFSET
+}
+
+/// Error probability for a Phred score.
+#[inline]
+pub fn phred_to_prob(q: QualScore) -> f64 {
+    10f64.powf(-f64::from(q) / 10.0)
+}
+
+/// Phred score for an error probability (clamped to `[0, MAX_QUAL]`).
+#[inline]
+pub fn prob_to_phred(p: f64) -> QualScore {
+    if p <= 0.0 {
+        return MAX_QUAL;
+    }
+    let q = -10.0 * p.log10();
+    q.clamp(0.0, f64::from(MAX_QUAL)).round() as QualScore
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_round_trip() {
+        for q in 0..=MAX_QUAL {
+            assert_eq!(decode_ascii(encode_ascii(q)), q);
+        }
+    }
+
+    #[test]
+    fn decode_saturates_low() {
+        assert_eq!(decode_ascii(b'!'), 0);
+        assert_eq!(decode_ascii(0), 0);
+    }
+
+    #[test]
+    fn phred_prob_round_trip() {
+        for q in [0u8, 10, 20, 30, 40] {
+            assert_eq!(prob_to_phred(phred_to_prob(q)), q);
+        }
+    }
+
+    #[test]
+    fn q20_is_one_percent() {
+        assert!((phred_to_prob(20) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_prob_maps_to_max() {
+        assert_eq!(prob_to_phred(0.0), MAX_QUAL);
+        assert_eq!(prob_to_phred(-1.0), MAX_QUAL);
+    }
+}

@@ -1,0 +1,26 @@
+//! Synthetic metagenome data generation.
+//!
+//! The paper evaluates on two datasets we cannot ship: **arcticsynth** (32 M
+//! synthetic 150 bp reads from a controlled community) and **WA** (813 GB of
+//! real Western-Arctic marine reads). What local assembly actually responds
+//! to is the *statistics* of such data — the number of species, the skew of
+//! their abundances (which drives coverage variance and therefore the
+//! contig/candidate-read distribution across the paper's three bins), read
+//! length, and sequencing error rate. This crate generates communities with
+//! exactly those controls:
+//!
+//! * [`community::generate_community`] — random genomes with log-normal
+//!   abundances (the canonical model for metagenome species abundance);
+//! * [`reads::simulate_reads`] — Illumina-like paired-end reads:
+//!   uniform sampling along genomes weighted by abundance, substitution
+//!   errors driven by per-base Phred qualities;
+//! * [`presets`] — "arcticsynth-like" and "WA-like" configurations scaled
+//!   to workstation size, with the scale factors documented.
+
+pub mod community;
+pub mod presets;
+pub mod reads;
+
+pub use community::{generate_community, Community, CommunityConfig, Genome};
+pub use presets::{arcticsynth_like, wa_like, Preset};
+pub use reads::{simulate_reads, ReadSimConfig};

@@ -1,0 +1,21 @@
+//! De Bruijn graph construction and traversal — the "k-mer analysis" and
+//! "contig generation" stages of the MetaHipMer pipeline (Figure 1 of the
+//! paper).
+//!
+//! The graph is implicit: a map from *canonical* k-mer to its occurrence
+//! count and per-side extension votes. Contigs are maximal unambiguous paths
+//! (unitigs): every step requires a unique, mutually-agreeing extension on
+//! both the current and the next vertex, which is how MetaHipMer's UU-graph
+//! traversal avoids walking through forks. Error k-mers (count below
+//! `min_count`, default 2 — "those that occur only once") are dropped before
+//! traversal.
+
+pub mod counts;
+pub mod graph;
+pub mod stats;
+pub mod traverse;
+
+pub use counts::{count_kmers, count_kmers_with_spectrum, KmerCountMap, VertexCounts};
+pub use graph::DbgGraph;
+pub use stats::{graph_stats, GraphStats};
+pub use traverse::{generate_contigs, Contig};

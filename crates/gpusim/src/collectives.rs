@@ -1,0 +1,283 @@
+//! Warp-level collectives built on the shuffle primitive: butterfly
+//! reductions, inclusive scans, and leader election — the standard CUDA
+//! idioms (`__reduce_add_sync`, warp-aggregated atomics) that kernels use
+//! to cut atomic traffic. Implemented *on top of* [`WarpCtx::shfl`]-style
+//! accounting so every step is metered like the real log₂(32) ladder.
+
+use crate::warp::{Lanes, WarpCtx, WARP};
+
+/// Associative operations supported by the butterfly ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Add,
+    Min,
+    Max,
+    BitOr,
+}
+
+impl ReduceOp {
+    #[inline]
+    fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Add => a.wrapping_add(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+            ReduceOp::BitOr => a | b,
+        }
+    }
+
+    #[inline]
+    fn identity(self) -> u64 {
+        match self {
+            ReduceOp::Add | ReduceOp::BitOr => 0,
+            ReduceOp::Min => u64::MAX,
+            ReduceOp::Max => 0,
+        }
+    }
+}
+
+/// Warp-wide reduction via the xor-butterfly shuffle ladder: 5 shuffle +
+/// 5 ALU instructions, every active lane ends with the full reduction of
+/// all active lanes' values (inactive lanes contribute the identity and
+/// receive their input unchanged).
+pub fn warp_reduce(ctx: &mut WarpCtx, vals: &Lanes<u64>, op: ReduceOp) -> Lanes<u64> {
+    let mut cur = *vals;
+    // Inactive lanes must not pollute the ladder.
+    for l in 0..WARP {
+        if !ctx.lane_active(l) {
+            cur[l] = op.identity();
+        }
+    }
+    let mut offset = WARP / 2;
+    while offset >= 1 {
+        // One shuffle instruction (lane l reads lane l ^ offset)...
+        ctx.shfl_xor_accounting();
+        // ...and one ALU combine.
+        ctx.int_ops(1);
+        let prev = cur;
+        for l in 0..WARP {
+            if ctx.lane_active(l) {
+                cur[l] = op.apply(prev[l], prev[l ^ offset]);
+            }
+        }
+        offset /= 2;
+    }
+    let mut out = *vals;
+    ctx.for_each_active(|l| out[l] = cur[l]);
+    out
+}
+
+/// Warp-wide inclusive scan (prefix) over active lanes in lane order,
+/// using the Hillis–Steele ladder: 5 shuffles + 5 ALU ops.
+pub fn warp_inclusive_scan(ctx: &mut WarpCtx, vals: &Lanes<u64>, op: ReduceOp) -> Lanes<u64> {
+    let mut cur = *vals;
+    for l in 0..WARP {
+        if !ctx.lane_active(l) {
+            cur[l] = op.identity();
+        }
+    }
+    let mut offset = 1usize;
+    while offset < WARP {
+        ctx.shfl_xor_accounting();
+        ctx.int_ops(1);
+        let prev = cur;
+        for l in 0..WARP {
+            if ctx.lane_active(l) && l >= offset {
+                cur[l] = op.apply(prev[l], prev[l - offset]);
+            }
+        }
+        offset *= 2;
+    }
+    let mut out = *vals;
+    ctx.for_each_active(|l| out[l] = cur[l]);
+    out
+}
+
+/// Warp-aggregated atomic add: lanes targeting the same address elect a
+/// leader (via `match_any` + ballot), the leader adds the group's sum with
+/// one atomic, and every lane receives the value the plain per-lane
+/// `atomic_add` would have returned. Cuts atomic transactions from
+/// #lanes to #distinct-addresses.
+pub fn warp_aggregated_add(
+    ctx: &mut WarpCtx,
+    ops: &Lanes<Option<(u64, u64)>>,
+) -> Lanes<u64> {
+    // Group lanes by target address.
+    let addr_keys = ctx.lanes_from(|l| ops[l].map_or(u64::MAX, |(a, _)| a));
+    let groups = ctx.match_any(&addr_keys);
+    ctx.int_ops(2); // leader election bit tricks
+
+    // Leaders perform one atomic each with the group sum.
+    let mut leader_ops: Lanes<Option<(u64, u64)>> = [None; WARP];
+    for l in 0..WARP {
+        if !ctx.lane_active(l) || ops[l].is_none() {
+            continue;
+        }
+        let mask = groups[l];
+        let leader = mask.trailing_zeros() as usize;
+        if leader == l {
+            let sum: u64 = (0..WARP)
+                .filter(|&m| mask & (1 << m) != 0)
+                .map(|m| ops[m].expect("grouped lane has op").1)
+                .fold(0u64, u64::wrapping_add);
+            leader_ops[l] = Some((ops[l].expect("leader has op").0, sum));
+        }
+    }
+    let leader_old = ctx.atomic_add(&leader_ops);
+
+    // Reconstruct per-lane "old" values: leader's old plus the prefix of
+    // earlier lanes in the group (one broadcast shuffle round).
+    ctx.shfl_xor_accounting();
+    ctx.int_ops(1);
+    let mut out: Lanes<u64> = [0; WARP];
+    for l in 0..WARP {
+        if !ctx.lane_active(l) || ops[l].is_none() {
+            continue;
+        }
+        let mask = groups[l];
+        let leader = mask.trailing_zeros() as usize;
+        let prefix: u64 = (0..l)
+            .filter(|&m| mask & (1 << m) != 0)
+            .map(|m| ops[m].expect("grouped lane has op").1)
+            .fold(0u64, u64::wrapping_add);
+        out[l] = leader_old[leader].wrapping_add(prefix);
+    }
+    out
+}
+
+impl WarpCtx<'_> {
+    /// Accounting hook for one butterfly-shuffle instruction (the
+    /// collectives above move values host-side; the metering is what
+    /// matters).
+    pub(crate) fn shfl_xor_accounting(&mut self) {
+        let vals = [0u64; WARP];
+        let _ = self.shfl(&vals, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+    use crate::device::Device;
+
+    fn with_ctx(f: impl FnOnce(&mut WarpCtx)) -> crate::counters::Counters {
+        let mut dev = Device::new(DeviceConfig::tiny());
+        dev.alloc(1024).unwrap();
+        let mut f = Some(f);
+        let stats = dev.launch(1, 0, |ctx| {
+            (f.take().expect("single warp"))(ctx);
+        });
+        stats.counters
+    }
+
+    #[test]
+    fn reduce_add_all_lanes() {
+        with_ctx(|ctx| {
+            let vals = ctx.lanes_from(|l| l as u64);
+            let out = warp_reduce(ctx, &vals, ReduceOp::Add);
+            for l in 0..WARP {
+                assert_eq!(out[l], 496, "lane {l}"); // 0+1+..+31
+            }
+        });
+    }
+
+    #[test]
+    fn reduce_min_max() {
+        with_ctx(|ctx| {
+            let vals = ctx.lanes_from(|l| (l as u64 * 7 + 3) % 29);
+            let out_min = warp_reduce(ctx, &vals, ReduceOp::Min);
+            let out_max = warp_reduce(ctx, &vals, ReduceOp::Max);
+            let expect_min = *vals.iter().min().unwrap();
+            let expect_max = *vals.iter().max().unwrap();
+            assert!(out_min.iter().all(|&v| v == expect_min));
+            assert!(out_max.iter().all(|&v| v == expect_max));
+        });
+    }
+
+    #[test]
+    fn reduce_respects_mask() {
+        with_ctx(|ctx| {
+            let vals = ctx.lanes_from(|l| l as u64);
+            ctx.push_mask(0xF); // lanes 0..4
+            let out = warp_reduce(ctx, &vals, ReduceOp::Add);
+            for l in 0..4 {
+                assert_eq!(out[l], 6); // 0+1+2+3
+            }
+            ctx.pop_mask();
+            // Inactive lanes keep their inputs.
+            assert_eq!(out[10], 10);
+        });
+    }
+
+    #[test]
+    fn reduce_counts_log2_shuffles() {
+        let c = with_ctx(|ctx| {
+            let vals = [1u64; WARP];
+            warp_reduce(ctx, &vals, ReduceOp::Add);
+        });
+        assert_eq!(c.shuffle_inst, 5);
+        assert_eq!(c.int_inst, 5);
+    }
+
+    #[test]
+    fn inclusive_scan_matches_serial() {
+        with_ctx(|ctx| {
+            let vals = ctx.lanes_from(|l| (l as u64 * 3 + 1) % 7);
+            let out = warp_inclusive_scan(ctx, &vals, ReduceOp::Add);
+            let mut acc = 0u64;
+            for l in 0..WARP {
+                acc += vals[l];
+                assert_eq!(out[l], acc, "lane {l}");
+            }
+        });
+    }
+
+    #[test]
+    fn scan_with_partial_mask() {
+        with_ctx(|ctx| {
+            let vals = [2u64; WARP];
+            ctx.push_mask(0xFF);
+            let out = warp_inclusive_scan(ctx, &vals, ReduceOp::Add);
+            ctx.pop_mask();
+            for l in 0..8 {
+                assert_eq!(out[l], 2 * (l as u64 + 1));
+            }
+        });
+    }
+
+    #[test]
+    fn aggregated_add_matches_plain() {
+        // Same target distribution through both paths → same memory state
+        // and same returned "old" values.
+        let mut dev1 = Device::new(DeviceConfig::tiny());
+        let b1 = dev1.alloc(8).unwrap();
+        let mut plain_out = [0u64; WARP];
+        dev1.launch(1, 0, |ctx| {
+            let ops = ctx.lanes_from(|l| Some((b1.addr + (l % 3) as u64, l as u64 + 1)));
+            plain_out = ctx.atomic_add(&ops);
+        });
+        let mut dev2 = Device::new(DeviceConfig::tiny());
+        let b2 = dev2.alloc(8).unwrap();
+        let mut agg_out = [0u64; WARP];
+        let s2 = dev2.launch(1, 0, |ctx| {
+            let ops = ctx.lanes_from(|l| Some((b2.addr + (l % 3) as u64, l as u64 + 1)));
+            agg_out = warp_aggregated_add(ctx, &ops);
+        });
+        assert_eq!(plain_out, agg_out);
+        assert_eq!(dev1.d2h(b1, 0, 3), dev2.d2h(b2, 0, 3));
+        // And the aggregated version generated at most 3 atomic sectors.
+        assert!(s2.counters.atomic_transactions <= 3);
+    }
+
+    #[test]
+    fn aggregated_add_skips_none_lanes() {
+        let mut dev = Device::new(DeviceConfig::tiny());
+        let b = dev.alloc(4).unwrap();
+        dev.launch(1, 0, |ctx| {
+            let ops = ctx.lanes_from(|l| (l % 2 == 0).then(|| (b.addr, 1u64)));
+            warp_aggregated_add(ctx, &ops);
+        });
+        assert_eq!(dev.d2h_word(b, 0), 16);
+    }
+}

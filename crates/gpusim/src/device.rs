@@ -1,0 +1,207 @@
+//! The simulated device: allocation, kernel launch, accumulated statistics.
+
+use crate::config::DeviceConfig;
+use crate::counters::Counters;
+use crate::mem::{Buf, DeviceOom, GlobalMem};
+use crate::timing::{self, TimingEstimate};
+use crate::warp::WarpCtx;
+
+/// Statistics for one kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchStats {
+    /// Warps in the launch grid.
+    pub warps: usize,
+    /// Counters accumulated during this launch only.
+    pub counters: Counters,
+    /// Estimated execution time under the device's timing model.
+    pub timing: TimingEstimate,
+}
+
+/// A simulated GPU: global memory plus accumulated execution counters.
+pub struct Device {
+    config: DeviceConfig,
+    mem: GlobalMem,
+    /// Counters accumulated across all launches since construction/reset.
+    total: Counters,
+    /// Seconds of simulated kernel time accumulated across launches.
+    total_time_s: f64,
+    launches: u64,
+}
+
+impl Device {
+    /// New device with the given configuration.
+    pub fn new(config: DeviceConfig) -> Device {
+        let cap = config.capacity_words();
+        Device {
+            config,
+            mem: GlobalMem::new(cap),
+            total: Counters::new(),
+            total_time_s: 0.0,
+            launches: 0,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Allocate `words` 64-bit words of zeroed global memory.
+    pub fn alloc(&mut self, words: u64) -> Result<Buf, DeviceOom> {
+        self.mem.alloc(words)
+    }
+
+    /// Free all allocations (arena reset), keeping counters.
+    pub fn reset_mem(&mut self) {
+        self.mem.reset();
+    }
+
+    /// Words currently allocated on the device.
+    pub fn mem_used_words(&self) -> u64 {
+        self.mem.used_words()
+    }
+
+    /// Host → device copy.
+    pub fn h2d(&mut self, buf: Buf, offset: u64, data: &[u64]) {
+        self.mem.write_slice(buf, offset, data);
+    }
+
+    /// Device → host copy.
+    pub fn d2h(&self, buf: Buf, offset: u64, len: u64) -> Vec<u64> {
+        self.mem.read_slice(buf, offset, len)
+    }
+
+    /// Read a single word host-side.
+    pub fn d2h_word(&self, buf: Buf, offset: u64) -> u64 {
+        self.mem.read(buf.at(offset))
+    }
+
+    /// Launch a kernel of `warps` warps, each with `local_words_per_lane`
+    /// words of local memory. The kernel body runs once per warp, in warp-id
+    /// order (a legal serialization of the real device's schedule — kernels
+    /// must not rely on inter-warp ordering, just as on real hardware).
+    ///
+    /// Returns per-launch counters and a timing estimate.
+    pub fn launch(
+        &mut self,
+        warps: usize,
+        local_words_per_lane: usize,
+        mut kernel: impl FnMut(&mut WarpCtx),
+    ) -> LaunchStats {
+        let mut counters = Counters::new();
+        for warp_id in 0..warps {
+            let mut ctx = WarpCtx::new(
+                warp_id,
+                &mut self.mem,
+                &mut counters,
+                local_words_per_lane,
+                self.config.sector_bytes,
+            );
+            kernel(&mut ctx);
+        }
+        let timing = timing::estimate(&self.config, &counters, warps);
+        self.total.merge(&counters);
+        self.total_time_s += timing.total_seconds();
+        self.launches += 1;
+        LaunchStats { warps, counters, timing }
+    }
+
+    /// Counters accumulated across all launches.
+    pub fn total_counters(&self) -> &Counters {
+        &self.total
+    }
+
+    /// Simulated seconds across all launches (including launch overheads).
+    pub fn total_time_s(&self) -> f64 {
+        self.total_time_s
+    }
+
+    /// Number of launches performed.
+    pub fn launches(&self) -> u64 {
+        self.launches
+    }
+
+    /// Zero the accumulated counters and time (memory is untouched).
+    pub fn reset_counters(&mut self) {
+        self.total = Counters::new();
+        self.total_time_s = 0.0;
+        self.launches = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::WARP;
+
+    #[test]
+    fn vector_add_kernel() {
+        let mut dev = Device::new(DeviceConfig::tiny());
+        let n = 256usize;
+        let a = dev.alloc(n as u64).unwrap();
+        let b = dev.alloc(n as u64).unwrap();
+        let c = dev.alloc(n as u64).unwrap();
+        dev.h2d(a, 0, &(0..n as u64).collect::<Vec<_>>());
+        dev.h2d(b, 0, &(0..n as u64).map(|x| x * 2).collect::<Vec<_>>());
+
+        let warps = n / WARP;
+        let stats = dev.launch(warps, 0, |ctx| {
+            let base = (ctx.warp_id * WARP) as u64;
+            let addrs_a = ctx.lanes_from(|l| Some(a.at(base + l as u64)));
+            let va = ctx.ld_global(&addrs_a);
+            let addrs_b = ctx.lanes_from(|l| Some(b.at(base + l as u64)));
+            let vb = ctx.ld_global(&addrs_b);
+            ctx.int_ops(1);
+            let sum = ctx.lanes_from(|l| va[l] + vb[l]);
+            let addrs_c = ctx.lanes_from(|l| Some(c.at(base + l as u64)));
+            ctx.st_global(&addrs_c, &sum);
+        });
+
+        let out = dev.d2h(c, 0, n as u64);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as u64 * 3);
+        }
+        // 8 warps × (2 loads + 1 store) × 8 sectors each = fully coalesced.
+        assert_eq!(stats.counters.global_ld_transactions, 8 * 2 * 8);
+        assert_eq!(stats.counters.global_st_transactions, 8 * 8);
+        assert!(stats.timing.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn histogram_kernel_with_atomics() {
+        let mut dev = Device::new(DeviceConfig::tiny());
+        let n = 128usize;
+        let input = dev.alloc(n as u64).unwrap();
+        let hist = dev.alloc(4).unwrap();
+        dev.h2d(input, 0, &(0..n as u64).map(|x| x % 4).collect::<Vec<_>>());
+
+        dev.launch(n / WARP, 0, |ctx| {
+            let base = (ctx.warp_id * WARP) as u64;
+            let addrs = ctx.lanes_from(|l| Some(input.at(base + l as u64)));
+            let vals = ctx.ld_global(&addrs);
+            let ops = ctx.lanes_from(|l| Some((hist.at(vals[l]), 1u64)));
+            ctx.atomic_add(&ops);
+        });
+
+        let out = dev.d2h(hist, 0, 4);
+        assert_eq!(out, vec![32, 32, 32, 32]);
+    }
+
+    #[test]
+    fn counters_accumulate_across_launches() {
+        let mut dev = Device::new(DeviceConfig::tiny());
+        dev.launch(1, 0, |ctx| ctx.int_ops(5));
+        dev.launch(1, 0, |ctx| ctx.int_ops(7));
+        assert_eq!(dev.total_counters().int_inst, 12);
+        assert_eq!(dev.launches(), 2);
+        dev.reset_counters();
+        assert_eq!(dev.total_counters().int_inst, 0);
+    }
+
+    #[test]
+    fn oom_propagates() {
+        let mut dev = Device::new(DeviceConfig::tiny());
+        let cap = dev.config().capacity_words();
+        assert!(dev.alloc(cap + 1).is_err());
+    }
+}

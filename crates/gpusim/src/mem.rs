@@ -1,0 +1,181 @@
+//! Simulated device global memory.
+//!
+//! Global memory is a flat, word-addressed (`u64`) address space with a bump
+//! allocator — the same discipline the paper's kernels use (one big slab,
+//! offsets computed host-side, no device-side `malloc`).
+
+/// Handle to a device allocation: a word-addressed range of global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Buf {
+    /// First word address.
+    pub addr: u64,
+    /// Length in 64-bit words.
+    pub len: u64,
+}
+
+impl Buf {
+    /// Word address of element `i`; panics (in debug) past the end.
+    #[inline]
+    pub fn at(&self, i: u64) -> u64 {
+        debug_assert!(i < self.len, "Buf index {i} out of {len}", len = self.len);
+        self.addr + i
+    }
+
+    /// Sub-range `[off, off+len)` of this buffer.
+    pub fn slice(&self, off: u64, len: u64) -> Buf {
+        assert!(off + len <= self.len, "slice out of bounds");
+        Buf { addr: self.addr + off, len }
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.len * 8
+    }
+}
+
+/// Flat global memory with a bump allocator.
+#[derive(Debug)]
+pub struct GlobalMem {
+    words: Vec<u64>,
+    next: u64,
+    capacity_words: u64,
+}
+
+/// Out-of-memory error for the simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceOom {
+    pub requested_words: u64,
+    pub free_words: u64,
+}
+
+impl std::fmt::Display for DeviceOom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device OOM: requested {} words, {} free",
+            self.requested_words, self.free_words
+        )
+    }
+}
+
+impl std::error::Error for DeviceOom {}
+
+impl GlobalMem {
+    /// New memory with the given capacity. Backing storage grows lazily.
+    pub fn new(capacity_words: u64) -> GlobalMem {
+        GlobalMem { words: Vec::new(), next: 0, capacity_words }
+    }
+
+    /// Allocate `len` words (zero-initialized).
+    pub fn alloc(&mut self, len: u64) -> Result<Buf, DeviceOom> {
+        if self.next + len > self.capacity_words {
+            return Err(DeviceOom {
+                requested_words: len,
+                free_words: self.capacity_words - self.next,
+            });
+        }
+        let addr = self.next;
+        self.next += len;
+        let needed = usize::try_from(self.next).expect("device capacity fits usize");
+        if self.words.len() < needed {
+            self.words.resize(needed, 0);
+        }
+        Ok(Buf { addr, len })
+    }
+
+    /// Free everything (bump allocator reset). Existing `Buf` handles become
+    /// dangling; callers own that discipline, as with a real device arena.
+    pub fn reset(&mut self) {
+        self.next = 0;
+        self.words.clear();
+    }
+
+    /// Words currently allocated.
+    pub fn used_words(&self) -> u64 {
+        self.next
+    }
+
+    /// Raw word read (host-side or lane-side; no metering here — metering is
+    /// the warp context's job).
+    #[inline]
+    pub fn read(&self, addr: u64) -> u64 {
+        self.words[usize::try_from(addr).expect("addr fits usize")]
+    }
+
+    /// Raw word write.
+    #[inline]
+    pub fn write(&mut self, addr: u64, val: u64) {
+        self.words[usize::try_from(addr).expect("addr fits usize")] = val;
+    }
+
+    /// Host-side bulk copy into device memory.
+    pub fn write_slice(&mut self, buf: Buf, offset: u64, data: &[u64]) {
+        assert!(offset + data.len() as u64 <= buf.len, "write past buffer end");
+        let start = usize::try_from(buf.addr + offset).expect("fits");
+        self.words[start..start + data.len()].copy_from_slice(data);
+    }
+
+    /// Host-side bulk copy out of device memory.
+    pub fn read_slice(&self, buf: Buf, offset: u64, len: u64) -> Vec<u64> {
+        assert!(offset + len <= buf.len, "read past buffer end");
+        let start = usize::try_from(buf.addr + offset).expect("fits");
+        self.words[start..start + usize::try_from(len).expect("fits")].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_rw() {
+        let mut m = GlobalMem::new(1024);
+        let b = m.alloc(16).unwrap();
+        m.write_slice(b, 0, &[1, 2, 3]);
+        assert_eq!(m.read_slice(b, 0, 4), vec![1, 2, 3, 0]);
+        assert_eq!(m.read(b.at(1)), 2);
+    }
+
+    #[test]
+    fn oom_reports_free() {
+        let mut m = GlobalMem::new(10);
+        m.alloc(8).unwrap();
+        let err = m.alloc(4).unwrap_err();
+        assert_eq!(err.free_words, 2);
+        assert_eq!(err.requested_words, 4);
+    }
+
+    #[test]
+    fn allocations_disjoint() {
+        let mut m = GlobalMem::new(100);
+        let a = m.alloc(10).unwrap();
+        let b = m.alloc(10).unwrap();
+        assert_eq!(a.addr + a.len, b.addr);
+        m.write(a.at(9), 7);
+        assert_eq!(m.read(b.at(0)), 0);
+    }
+
+    #[test]
+    fn reset_reclaims() {
+        let mut m = GlobalMem::new(10);
+        m.alloc(10).unwrap();
+        m.reset();
+        assert!(m.alloc(10).is_ok());
+    }
+
+    #[test]
+    fn slice_bounds() {
+        let mut m = GlobalMem::new(100);
+        let b = m.alloc(10).unwrap();
+        let s = b.slice(4, 6);
+        assert_eq!(s.addr, b.addr + 4);
+        assert_eq!(s.len, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_past_end_panics() {
+        let b = Buf { addr: 0, len: 10 };
+        b.slice(5, 6);
+    }
+}

@@ -1,0 +1,16 @@
+//! Anchor crate for the workspace-level integration tests.
+//!
+//! The test sources live in the repository's top-level `tests/` directory
+//! (see the `[[test]]` entries in this crate's manifest) so they sit beside
+//! the examples and documentation, spanning every crate in the workspace:
+//!
+//! * `pipeline_e2e` — assembles synthetic communities end to end and checks
+//!   assembly correctness and quality (contigs are genome substrings,
+//!   local assembly grows contiguity, scaffolds chain correctly);
+//! * `cpu_gpu_equivalence` — the central invariant of the reproduction:
+//!   the CPU engine and both GPU kernels produce bit-identical extensions;
+//! * `paper_claims` — the qualitative claims of the SC'21 paper, asserted
+//!   against the simulator (v1→v2 roofline movement, binning shape,
+//!   predication, load-factor bound, scaling-model anchors);
+//! * `memory_model` — the gpusim memory/coalescing model invariants under
+//!   randomized access patterns.

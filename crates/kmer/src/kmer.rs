@@ -1,0 +1,378 @@
+//! Fixed-width packed k-mer type.
+
+use bioseq::{Base, DnaSeq};
+use serde::{Deserialize, Serialize};
+
+/// Maximum supported k. MetaHipMer's iterative assembly uses k up to 99;
+/// four 64-bit words give us headroom to 128.
+pub const MAX_K: usize = 128;
+
+/// Number of backing words.
+pub const KMER_WORDS: usize = MAX_K / 32;
+
+/// A k-mer packed at 2 bits per base, LSB-first (base `i` at bits `2i` of
+/// word `i/32`) — the same layout as [`bioseq::PackedSeq`], so a k-mer can be
+/// materialized from a packed read window without re-encoding.
+///
+/// Invariant: bits above position `2k` are zero (needed for `Eq`/`Ord`/hash
+/// to be well-defined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Kmer {
+    words: [u64; KMER_WORDS],
+    k: u16,
+}
+
+impl Kmer {
+    /// The k-mer spanning `seq[start .. start+k]`.
+    ///
+    /// Panics if the window is out of bounds or `k` is 0 or > [`MAX_K`].
+    pub fn from_seq(seq: &DnaSeq, start: usize, k: usize) -> Kmer {
+        assert!(k >= 1 && k <= MAX_K, "k={k} out of range");
+        assert!(start + k <= seq.len(), "k-mer window out of bounds");
+        let mut words = [0u64; KMER_WORDS];
+        for j in 0..k {
+            words[j / 32] |= u64::from(seq.code(start + j)) << ((j % 32) * 2);
+        }
+        Kmer { words, k: k as u16 }
+    }
+
+    /// Construct from pre-packed words (LSB-first 2-bit codes). High bits
+    /// beyond `2k` are cleared.
+    pub fn from_words(mut words_in: [u64; KMER_WORDS], k: usize) -> Kmer {
+        assert!(k >= 1 && k <= MAX_K, "k={k} out of range");
+        mask_high(&mut words_in, k);
+        Kmer { words: words_in, k: k as u16 }
+    }
+
+    /// Construct from a window of a packed word slice (e.g. a packed read in
+    /// device memory): bases `[start, start+k)` where base `i` of the slice
+    /// lives at word `i/32`, bits `2(i%32)`.
+    pub fn from_packed_words(words: &[u64], start: usize, k: usize) -> Kmer {
+        assert!(k >= 1 && k <= MAX_K, "k={k} out of range");
+        let mut out = [0u64; KMER_WORDS];
+        for j in 0..k {
+            let i = start + j;
+            let code = (words[i / 32] >> ((i % 32) * 2)) & 3;
+            out[j / 32] |= code << ((j % 32) * 2);
+        }
+        Kmer { words: out, k: k as u16 }
+    }
+
+    /// k (length in bases).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k as usize
+    }
+
+    /// Backing words (low `2k` bits significant).
+    #[inline]
+    pub fn words(&self) -> &[u64; KMER_WORDS] {
+        &self.words
+    }
+
+    /// 2-bit code of base `i`.
+    #[inline]
+    pub fn code(&self, i: usize) -> u8 {
+        assert!(i < self.k(), "base index out of range");
+        ((self.words[i / 32] >> ((i % 32) * 2)) & 3) as u8
+    }
+
+    /// Base at position `i`.
+    #[inline]
+    pub fn base(&self, i: usize) -> Base {
+        Base::from_code(self.code(i))
+    }
+
+    /// The last base (the one a right-extension appends after).
+    #[inline]
+    pub fn last_base(&self) -> Base {
+        self.base(self.k() - 1)
+    }
+
+    /// The k-mer obtained by dropping the first base and appending `b` —
+    /// one step of a rightward mer-walk.
+    pub fn shift_right(&self, b: Base) -> Kmer {
+        let k = self.k();
+        let mut words = [0u64; KMER_WORDS];
+        // Shift the whole packed value right by one base (2 bits),
+        // propagating across word boundaries.
+        for w in 0..KMER_WORDS {
+            let mut v = self.words[w] >> 2;
+            if w + 1 < KMER_WORDS {
+                v |= (self.words[w + 1] & 3) << 62;
+            }
+            words[w] = v;
+        }
+        // Insert the new base at position k-1.
+        let j = k - 1;
+        words[j / 32] |= u64::from(b.code()) << ((j % 32) * 2);
+        let mut out = Kmer { words, k: self.k };
+        mask_high(&mut out.words, k);
+        out
+    }
+
+    /// The k-mer obtained by dropping the last base and prepending `b` —
+    /// one step of a leftward mer-walk.
+    pub fn shift_left(&self, b: Base) -> Kmer {
+        let k = self.k();
+        let mut words = [0u64; KMER_WORDS];
+        // Shift left by one base.
+        for w in (0..KMER_WORDS).rev() {
+            let mut v = self.words[w] << 2;
+            if w > 0 {
+                v |= self.words[w - 1] >> 62;
+            }
+            words[w] = v;
+        }
+        words[0] |= u64::from(b.code());
+        let mut out = Kmer { words, k: self.k };
+        mask_high(&mut out.words, k);
+        out
+    }
+
+    /// Reverse complement.
+    pub fn revcomp(&self) -> Kmer {
+        let k = self.k();
+        let mut words = [0u64; KMER_WORDS];
+        for i in 0..k {
+            let c = self.code(i) ^ 3;
+            let j = k - 1 - i;
+            words[j / 32] |= u64::from(c) << ((j % 32) * 2);
+        }
+        Kmer { words, k: self.k }
+    }
+
+    /// Canonical form: the lexicographically smaller of the k-mer and its
+    /// reverse complement (comparison over base codes from position 0).
+    pub fn canonical(&self) -> Kmer {
+        let rc = self.revcomp();
+        if self.cmp_bases(&rc) <= std::cmp::Ordering::Equal {
+            *self
+        } else {
+            rc
+        }
+    }
+
+    /// True if this k-mer equals its own canonical form.
+    pub fn is_canonical(&self) -> bool {
+        self.cmp_bases(&self.revcomp()) != std::cmp::Ordering::Greater
+    }
+
+    /// Lexicographic comparison by base sequence (not by packed words:
+    /// LSB-first packing does not preserve lexicographic order).
+    pub fn cmp_bases(&self, other: &Kmer) -> std::cmp::Ordering {
+        debug_assert_eq!(self.k, other.k);
+        for i in 0..self.k() {
+            match self.code(i).cmp(&other.code(i)) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// Unpack to a `DnaSeq`.
+    pub fn to_seq(&self) -> DnaSeq {
+        (0..self.k()).map(|i| self.base(i)).collect()
+    }
+}
+
+impl std::fmt::Display for Kmer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in 0..self.k() {
+            write!(f, "{}", self.base(i))?;
+        }
+        Ok(())
+    }
+}
+
+fn mask_high(words: &mut [u64; KMER_WORDS], k: usize) {
+    let full_words = (2 * k) / 64;
+    let rem_bits = (2 * k) % 64;
+    for (w, word) in words.iter_mut().enumerate() {
+        if w > full_words || (w == full_words && rem_bits == 0) {
+            *word = 0;
+        } else if w == full_words {
+            *word &= (1u64 << rem_bits) - 1;
+        }
+    }
+}
+
+/// Iterator over the k-mers of a sequence, left to right.
+pub struct KmerIter<'a> {
+    seq: &'a DnaSeq,
+    k: usize,
+    pos: usize,
+    cur: Option<Kmer>,
+}
+
+impl<'a> KmerIter<'a> {
+    /// K-mers of `seq`; yields nothing if `seq.len() < k`.
+    pub fn new(seq: &'a DnaSeq, k: usize) -> KmerIter<'a> {
+        assert!(k >= 1 && k <= MAX_K, "k={k} out of range");
+        KmerIter { seq, k, pos: 0, cur: None }
+    }
+}
+
+impl Iterator for KmerIter<'_> {
+    /// `(start_position, kmer)`
+    type Item = (usize, Kmer);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos + self.k > self.seq.len() {
+            return None;
+        }
+        let km = match self.cur {
+            // Incremental shift is O(words); recomputing would be O(k).
+            Some(prev) => prev.shift_right(self.seq.base(self.pos + self.k - 1)),
+            None => Kmer::from_seq(self.seq, 0, self.k),
+        };
+        self.cur = Some(km);
+        let at = self.pos;
+        self.pos += 1;
+        Some((at, km))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.seq.len() + 1).saturating_sub(self.pos + self.k);
+        (n, Some(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn seq(s: &str) -> DnaSeq {
+        DnaSeq::from_str_strict(s).unwrap()
+    }
+
+    #[test]
+    fn from_seq_and_display() {
+        let km = Kmer::from_seq(&seq("ACGTACGT"), 1, 5);
+        assert_eq!(km.to_string(), "CGTAC");
+        assert_eq!(km.k(), 5);
+    }
+
+    #[test]
+    fn shift_right_walks() {
+        let km = Kmer::from_seq(&seq("ACGTA"), 0, 4); // ACGT
+        let next = km.shift_right(Base::A);
+        assert_eq!(next.to_string(), "CGTA");
+    }
+
+    #[test]
+    fn shift_left_walks() {
+        let km = Kmer::from_seq(&seq("ACGT"), 0, 4);
+        let prev = km.shift_left(Base::T);
+        assert_eq!(prev.to_string(), "TACG");
+    }
+
+    #[test]
+    fn shift_crosses_word_boundary() {
+        // k=40 spans two words.
+        let s: DnaSeq = (0..41).map(|i| Base::from_code((i % 4) as u8)).collect();
+        let km = Kmer::from_seq(&s, 0, 40);
+        let shifted = km.shift_right(s.base(40));
+        let direct = Kmer::from_seq(&s, 1, 40);
+        assert_eq!(shifted, direct);
+    }
+
+    #[test]
+    fn revcomp_known() {
+        let km = Kmer::from_seq(&seq("AACGT"), 0, 5);
+        assert_eq!(km.revcomp().to_string(), "ACGTT");
+    }
+
+    #[test]
+    fn canonical_picks_smaller() {
+        let km = Kmer::from_seq(&seq("TTTT"), 0, 4);
+        assert_eq!(km.canonical().to_string(), "AAAA");
+        let km2 = Kmer::from_seq(&seq("AAAA"), 0, 4);
+        assert_eq!(km2.canonical().to_string(), "AAAA");
+    }
+
+    #[test]
+    fn kmer_iter_yields_all() {
+        let s = seq("ACGTAC");
+        let kmers: Vec<String> = KmerIter::new(&s, 4).map(|(_, k)| k.to_string()).collect();
+        assert_eq!(kmers, vec!["ACGT", "CGTA", "GTAC"]);
+    }
+
+    #[test]
+    fn kmer_iter_short_seq_empty() {
+        let s = seq("ACG");
+        assert_eq!(KmerIter::new(&s, 4).count(), 0);
+    }
+
+    #[test]
+    fn from_packed_words_matches() {
+        let s: DnaSeq = (0..100).map(|i| Base::from_code(((i * 7) % 4) as u8)).collect();
+        let packed = bioseq::PackedSeq::from_seq(&s);
+        for start in [0usize, 5, 31, 32, 33, 50] {
+            let a = Kmer::from_packed_words(packed.words(), start, 33);
+            let b = Kmer::from_seq(&s, start, 33);
+            assert_eq!(a, b, "start={start}");
+        }
+    }
+
+    fn arb_kseq(k: usize, extra: usize) -> impl Strategy<Value = DnaSeq> {
+        proptest::collection::vec(0u8..4, k + extra..k + extra + 1).prop_map(DnaSeq::from_codes)
+    }
+
+    proptest! {
+        #[test]
+        fn iter_matches_direct(codes in proptest::collection::vec(0u8..4, 21..120)) {
+            let s = DnaSeq::from_codes(codes);
+            let k = 21;
+            for (pos, km) in KmerIter::new(&s, k) {
+                prop_assert_eq!(km, Kmer::from_seq(&s, pos, k));
+            }
+        }
+
+        #[test]
+        fn revcomp_involution(k in 1usize..=64, seed in any::<u64>()) {
+            let s: DnaSeq = (0..k).map(|i| {
+                Base::from_code(((seed >> ((i % 29) * 2)) & 3) as u8)
+            }).collect();
+            let km = Kmer::from_seq(&s, 0, k);
+            prop_assert_eq!(km.revcomp().revcomp(), km);
+        }
+
+        #[test]
+        fn canonical_idempotent(s in arb_kseq(33, 0)) {
+            let km = Kmer::from_seq(&s, 0, 33);
+            let c = km.canonical();
+            prop_assert_eq!(c.canonical(), c);
+            prop_assert!(c.is_canonical());
+        }
+
+        #[test]
+        fn canonical_same_for_rc(s in arb_kseq(33, 0)) {
+            let km = Kmer::from_seq(&s, 0, 33);
+            prop_assert_eq!(km.canonical(), km.revcomp().canonical());
+        }
+
+        #[test]
+        fn shift_right_equals_from_seq(s in arb_kseq(55, 1)) {
+            let km = Kmer::from_seq(&s, 0, 55);
+            let next = km.shift_right(s.base(55));
+            prop_assert_eq!(next, Kmer::from_seq(&s, 1, 55));
+        }
+
+        #[test]
+        fn shift_left_inverts_shift_right(s in arb_kseq(40, 1)) {
+            let km = Kmer::from_seq(&s, 0, 40);
+            let next = km.shift_right(s.base(40));
+            let back = next.shift_left(s.base(0));
+            prop_assert_eq!(back, km);
+        }
+
+        #[test]
+        fn to_seq_round_trip(s in arb_kseq(77, 0)) {
+            let km = Kmer::from_seq(&s, 0, 77);
+            prop_assert_eq!(km.to_seq(), s);
+        }
+    }
+}

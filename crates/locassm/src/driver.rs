@@ -1,0 +1,208 @@
+//! The CPU/GPU overlap driver of §4.3 (Figure 11).
+//!
+//! MetaHipMer2 launches the driver function in a separate thread so that,
+//! while the GPU chews on bin 3 (the few contigs with the most candidate
+//! reads), the CPU keeps extending bin-2 contigs; whatever bin-2 work
+//! remains when the GPU returns is offloaded too. We reproduce the
+//! structure with a real host-side thread split: the GPU engine (on its
+//! simulated device) runs concurrently with the rayon CPU engine, the
+//! bin-2 work is divided by a configurable fraction, and the outcome
+//! reports both wall times and the simulated device time.
+//!
+//! Functional output is engine-independent (the equivalence tests
+//! guarantee it), so the split fraction is purely a performance knob —
+//! exactly as in the paper.
+
+use crate::binning::bin_tasks;
+use crate::cpu::extend_all_cpu;
+use crate::gpu::{GpuLocalAssembler, GpuRunStats, KernelVersion};
+use crate::params::LocalAssemblyParams;
+use crate::task::{ExtResult, ExtTask};
+use gpusim::DeviceConfig;
+use std::time::Instant;
+
+/// Outcome of an overlapped run.
+#[derive(Debug)]
+pub struct OverlapOutcome {
+    /// Results, index-aligned with the input tasks.
+    pub results: Vec<ExtResult>,
+    /// Tasks answered host-side with no work (bin 1).
+    pub zero_tasks: usize,
+    /// Tasks the CPU engine handled.
+    pub cpu_tasks: usize,
+    /// Tasks the GPU engine handled.
+    pub gpu_tasks: usize,
+    /// Host wall seconds of the CPU side.
+    pub cpu_wall_s: f64,
+    /// Host wall seconds spent driving the GPU side (simulation cost).
+    pub gpu_wall_s: f64,
+    /// Simulated device seconds of the GPU side.
+    pub gpu_stats: Option<GpuRunStats>,
+}
+
+/// The overlap driver.
+pub struct OverlapDriver {
+    pub device: DeviceConfig,
+    pub version: KernelVersion,
+    /// Fraction of bin-2 tasks kept on the CPU (0 = all bin 2 follows
+    /// bin 3 onto the GPU; 1 = CPU does all of bin 2).
+    pub cpu_bin2_fraction: f64,
+}
+
+impl Default for OverlapDriver {
+    fn default() -> Self {
+        OverlapDriver {
+            device: DeviceConfig::v100(),
+            version: KernelVersion::V2,
+            cpu_bin2_fraction: 0.5,
+        }
+    }
+}
+
+impl OverlapDriver {
+    /// Run all tasks with CPU/GPU overlap.
+    pub fn run(&self, tasks: &[ExtTask], params: &LocalAssemblyParams) -> OverlapOutcome {
+        let bins = bin_tasks(tasks);
+        let mut results: Vec<Option<ExtResult>> = vec![None; tasks.len()];
+        for &i in &bins.zero {
+            results[i] = Some(ExtResult::empty());
+        }
+
+        // Split bin 2 between the engines; bin 3 always goes to the GPU
+        // first (the paper's scheduling).
+        let cpu_take = (bins.small.len() as f64 * self.cpu_bin2_fraction).round() as usize;
+        let (cpu_idx, gpu_small) = bins.small.split_at(cpu_take.min(bins.small.len()));
+        let gpu_idx: Vec<usize> =
+            bins.large.iter().chain(gpu_small.iter()).copied().collect();
+
+        let cpu_task_list: Vec<ExtTask> =
+            cpu_idx.iter().map(|&i| tasks[i].clone()).collect();
+        let gpu_task_list: Vec<ExtTask> =
+            gpu_idx.iter().map(|&i| tasks[i].clone()).collect();
+
+        let device = self.device.clone();
+        let version = self.version;
+        let params_gpu = params.clone();
+
+        // Genuine host-side overlap: the GPU simulation runs on one branch
+        // of a rayon join while the CPU engine's par_iter occupies the rest
+        // of the pool — the same structure as the paper's driver thread.
+        let params_cpu = params.clone();
+        let ((gpu_results, gpu_stats, gpu_wall), (cpu_results, cpu_wall)) = rayon::join(
+            move || {
+                let t = Instant::now();
+                let mut engine = GpuLocalAssembler::new(device, params_gpu, version);
+                let (r, s) = engine.extend_tasks(&gpu_task_list);
+                (r, s, t.elapsed().as_secs_f64())
+            },
+            move || {
+                let t = Instant::now();
+                let r = extend_all_cpu(&cpu_task_list, &params_cpu);
+                (r, t.elapsed().as_secs_f64())
+            },
+        );
+
+        for (&i, r) in cpu_idx.iter().zip(cpu_results) {
+            results[i] = Some(r);
+        }
+        for (&i, r) in gpu_idx.iter().zip(gpu_results) {
+            results[i] = Some(r);
+        }
+
+        OverlapOutcome {
+            results: results.into_iter().map(|r| r.expect("all resolved")).collect(),
+            zero_tasks: bins.zero.len(),
+            cpu_tasks: cpu_idx.len(),
+            gpu_tasks: gpu_idx.len(),
+            cpu_wall_s: cpu_wall,
+            gpu_wall_s: gpu_wall,
+            gpu_stats: Some(gpu_stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::ContigEnd;
+    use bioseq::{DnaSeq, Read};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_seq(len: usize, sd: u64) -> DnaSeq {
+        let mut rng = StdRng::seed_from_u64(sd);
+        (0..len)
+            .map(|_| bioseq::Base::from_code(rng.gen_range(0..4)))
+            .collect()
+    }
+
+    fn tasks_with_mixed_bins() -> Vec<ExtTask> {
+        let mut tasks = Vec::new();
+        for i in 0..24 {
+            let genome = random_seq(400, 500 + i as u64);
+            let n_reads = match i % 3 {
+                0 => 0,
+                1 => 4,
+                _ => 14,
+            };
+            let reads = (0..n_reads)
+                .map(|r| {
+                    let start = 60 + (r * 13) % 200;
+                    Read::with_uniform_qual(
+                        format!("t{i}r{r}"),
+                        genome.subseq(start, 80),
+                        35,
+                    )
+                })
+                .collect();
+            tasks.push(ExtTask {
+                contig: i,
+                end: ContigEnd::Right,
+                tail: genome.subseq(0, 120),
+                reads,
+            });
+        }
+        tasks
+    }
+
+    #[test]
+    fn overlap_matches_pure_cpu() {
+        let tasks = tasks_with_mixed_bins();
+        let params = LocalAssemblyParams::for_tests();
+        let pure = extend_all_cpu(&tasks, &params);
+        let outcome = OverlapDriver::default().run(&tasks, &params);
+        assert_eq!(outcome.results, pure);
+        assert_eq!(outcome.zero_tasks, 8);
+        assert_eq!(outcome.cpu_tasks + outcome.gpu_tasks + outcome.zero_tasks, tasks.len());
+    }
+
+    #[test]
+    fn split_fraction_extremes() {
+        let tasks = tasks_with_mixed_bins();
+        let params = LocalAssemblyParams::for_tests();
+        let pure = extend_all_cpu(&tasks, &params);
+        for frac in [0.0, 1.0] {
+            let driver = OverlapDriver { cpu_bin2_fraction: frac, ..Default::default() };
+            let outcome = driver.run(&tasks, &params);
+            assert_eq!(outcome.results, pure, "fraction {frac}");
+            if frac == 0.0 {
+                assert_eq!(outcome.cpu_tasks, 0);
+            } else {
+                // All bin-2 on CPU; GPU still gets bin 3.
+                assert_eq!(outcome.cpu_tasks, 8);
+                assert_eq!(outcome.gpu_tasks, 8);
+            }
+        }
+    }
+
+    #[test]
+    fn bin3_always_on_gpu() {
+        let tasks = tasks_with_mixed_bins();
+        let params = LocalAssemblyParams::for_tests();
+        let driver = OverlapDriver { cpu_bin2_fraction: 1.0, ..Default::default() };
+        let outcome = driver.run(&tasks, &params);
+        let stats = outcome.gpu_stats.expect("gpu ran");
+        assert_eq!(stats.device_tasks, 8, "the 8 bin-3 tasks");
+        assert!(stats.seconds > 0.0);
+    }
+}

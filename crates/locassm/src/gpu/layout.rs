@@ -1,0 +1,253 @@
+//! Device data formats shared by the packer and the kernels.
+//!
+//! ## Hash-table entry (4 words = one 32-byte sector)
+//!
+//! | word | contents |
+//! |------|----------|
+//! | 0    | key descriptor (see below), or [`EMPTY`] (= 0) |
+//! | 1    | high-quality extension counts, 4 × u16 (base `b` at bits `16b`) |
+//! | 2    | low-quality extension counts, 4 × u16 |
+//! | 3    | reserved |
+//!
+//! Key descriptor: `read_slot << 32 | pos << 16 | iter << 8 | k`. The key
+//! stores a **pointer into the packed reads** (read slot + offset + length)
+//! instead of the k-mer itself — the §3.2 compression that cuts per-key
+//! memory ~15× for k = 77. Key comparison dereferences the read.
+//!
+//! `iter` is a *generation tag*: the in-warp k-shift loop rebuilds the
+//! table at a new k without re-initializing the slab — an entry whose tag
+//! differs from the current iteration is logically empty and is reclaimed
+//! with a CAS on its observed stale value (the counts words are reset by
+//! the claiming lane before any votes land). The slab arrives zeroed from
+//! the host (`cudaMemset` semantics), so `EMPTY = 0` and no kernel-side
+//! initialization traffic is ever needed.
+//!
+//! ## Visited-set entry (4 words)
+//!
+//! The walked k-mer's packed words, with word 3 carrying the occupancy flag
+//! (bit 63) and the generation tag (bits 48..56). Walk k-mers include
+//! freshly appended bases, so they cannot be stored as read pointers.
+//! Valid while `k ≤ 120` (kmer bits stay below bit 48); enforced by
+//! [`assert_k_supported`].
+//!
+//! ## Output record (per extension, `out_stride` words)
+//!
+//! | word | contents |
+//! |------|----------|
+//! | 0    | appended-base count |
+//! | 1    | `final_state \| iterations << 8` |
+//! | 2..  | appended bases, 2-bit packed |
+
+use kmer::Kmer;
+
+/// Words per hash-table entry.
+pub const ENTRY_WORDS: u64 = 4;
+
+/// Key-word value for a never-written slot (host-zeroed slab).
+pub const EMPTY: u64 = 0;
+
+/// Words per visited-set entry (the packed k-mer words).
+pub const VIS_ENTRY_WORDS: u64 = 4;
+
+/// Occupancy flag in a visited entry's last word.
+pub const VIS_FLAG: u64 = 1 << 63;
+
+/// Words of metadata per read: `[bases_start_word, qual_start_word, len]`.
+pub const READ_META_WORDS: u64 = 3;
+
+/// Words of metadata per extension:
+/// `[read_slot_start, n_reads, ht_off, ht_slots, vis_off, vis_slots,
+///   tail_off_word, tail_len]`.
+pub const EXT_META_WORDS: u64 = 8;
+
+/// Largest k the tagged visited-entry format supports.
+pub const MAX_DEVICE_K: usize = 120;
+
+/// Panic unless `k` fits the device formats.
+pub fn assert_k_supported(k: usize) {
+    assert!(
+        k >= 1 && k <= MAX_DEVICE_K,
+        "device layout supports 1 <= k <= {MAX_DEVICE_K}, got {k}"
+    );
+}
+
+/// Encode a hash-table key descriptor. `iter` is the 8-bit generation tag.
+#[inline]
+pub fn encode_key(read_slot: u32, pos: u16, iter: u8, k: u8) -> u64 {
+    debug_assert!(k != 0, "k = 0 would alias EMPTY");
+    (u64::from(read_slot) << 32) | (u64::from(pos) << 16) | (u64::from(iter) << 8) | u64::from(k)
+}
+
+/// Decode a key descriptor into `(read_slot, pos, iter, k)`.
+#[inline]
+pub fn decode_key(desc: u64) -> (u32, u16, u8, u8) {
+    (
+        (desc >> 32) as u32,
+        ((desc >> 16) & 0xffff) as u16,
+        ((desc >> 8) & 0xff) as u8,
+        (desc & 0xff) as u8,
+    )
+}
+
+/// Is this key word live for generation `iter`?
+#[inline]
+pub fn key_is_current(desc: u64, iter: u8) -> bool {
+    desc != EMPTY && ((desc >> 8) & 0xff) as u8 == iter
+}
+
+/// Tag a visited entry's last word with the occupancy flag and generation.
+#[inline]
+pub fn vis_tag(word3: u64, iter: u8) -> u64 {
+    debug_assert!(word3 < (1 << 48), "k too large for visited tagging");
+    word3 | VIS_FLAG | (u64::from(iter) << 48)
+}
+
+/// Is a visited entry's last word live for generation `iter`?
+#[inline]
+pub fn vis_is_current(word3: u64, iter: u8) -> bool {
+    (word3 & VIS_FLAG) != 0 && ((word3 >> 48) & 0xff) as u8 == iter
+}
+
+/// Bytes one key occupies in the pointer representation (the 5-byte figure
+/// of §3.2: 4-byte position/slot + 1-byte length; we round to the u64 the
+/// entry uses).
+pub const KEY_POINTER_BYTES: u64 = 8;
+
+/// Bytes a materialized k-mer key would occupy at one byte per base.
+pub fn key_materialized_bytes(k: usize) -> u64 {
+    k as u64
+}
+
+/// Hash-table slot count for one extension: the paper's `l × r` rule —
+/// the sum of candidate-read lengths — which bounds the load factor at
+/// `(l − k + 1) / l` (≤ 0.93 for `l = 300, k = 21`).
+pub fn ht_slots_for(read_lens: impl Iterator<Item = usize>) -> u64 {
+    read_lens.map(|l| l as u64).sum::<u64>().max(1)
+}
+
+/// Worst-case load factor for reads of length `l` at k-mer size `k`.
+pub fn load_factor(l: usize, k: usize) -> f64 {
+    if l == 0 || k > l {
+        return 0.0;
+    }
+    (l - k + 1) as f64 / l as f64
+}
+
+/// Visited-table slot count for a walk of at most `max_steps` k-mers
+/// (2× oversize keeps probe chains short).
+pub fn vis_slots_for(max_steps: usize) -> u64 {
+    (2 * (max_steps as u64 + 1)).max(4)
+}
+
+/// Output-record stride in words for a given appended-bases cap.
+pub fn out_stride(max_total_extension: usize) -> u64 {
+    2 + (max_total_extension as u64).div_ceil(32)
+}
+
+/// Pack a walk result header word 1.
+#[inline]
+pub fn encode_out_header(state: u64, iterations: u32) -> u64 {
+    state | (u64::from(iterations) << 8)
+}
+
+/// Unpack output header word 1 into `(state, iterations)`.
+#[inline]
+pub fn decode_out_header(w: u64) -> (u64, u32) {
+    (w & 0xff, (w >> 8) as u32)
+}
+
+/// The packed words of a k-mer, padded to [`VIS_ENTRY_WORDS`] for the
+/// visited table.
+pub fn kmer_entry_words(km: &Kmer) -> [u64; VIS_ENTRY_WORDS as usize] {
+    *km.words()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_round_trip() {
+        let desc = encode_key(12345, 678, 3, 77);
+        assert_eq!(decode_key(desc), (12345, 678, 3, 77));
+        assert_ne!(desc, EMPTY);
+        assert!(key_is_current(desc, 3));
+        assert!(!key_is_current(desc, 4));
+    }
+
+    #[test]
+    fn empty_is_never_current() {
+        assert!(!key_is_current(EMPTY, 0));
+        assert!(!key_is_current(EMPTY, 7));
+    }
+
+    #[test]
+    fn key_never_collides_with_empty() {
+        // EMPTY is 0; k != 0 guarantees a nonzero descriptor.
+        let desc = encode_key(0, 0, 0, 15);
+        assert_ne!(desc, EMPTY);
+    }
+
+    #[test]
+    fn vis_tagging() {
+        let w3 = 0b101101u64; // k just over 96 uses a few low bits
+        let tagged = vis_tag(w3, 5);
+        assert!(vis_is_current(tagged, 5));
+        assert!(!vis_is_current(tagged, 6));
+        assert!(!vis_is_current(w3, 5), "untagged word is not occupied");
+        assert_eq!(tagged & 0xffff_ffff, w3);
+    }
+
+    #[test]
+    fn k_support_bounds() {
+        assert_k_supported(21);
+        assert_k_supported(120);
+    }
+
+    #[test]
+    #[should_panic(expected = "device layout supports")]
+    fn k_too_large_rejected() {
+        assert_k_supported(121);
+    }
+
+    #[test]
+    fn load_factor_worst_case_is_093() {
+        let lf = load_factor(300, 21);
+        assert!((lf - 280.0 / 300.0).abs() < 1e-12);
+        assert!(lf < 0.94 && lf > 0.93);
+    }
+
+    #[test]
+    fn load_factor_decreases_with_k() {
+        assert!(load_factor(300, 99) < load_factor(300, 21));
+        assert_eq!(load_factor(0, 21), 0.0);
+        assert_eq!(load_factor(20, 21), 0.0);
+    }
+
+    #[test]
+    fn ht_slots_sum_read_lens() {
+        assert_eq!(ht_slots_for([150, 150, 300].into_iter()), 600);
+        assert_eq!(ht_slots_for(std::iter::empty()), 1);
+    }
+
+    #[test]
+    fn pointer_key_compression_ratio() {
+        // §3.2: a 77-mer stored by pointer uses ~15x less memory.
+        let ratio = key_materialized_bytes(77) as f64 / 5.0;
+        assert!(ratio > 15.0);
+    }
+
+    #[test]
+    fn out_stride_covers_cap() {
+        assert_eq!(out_stride(300), 2 + 10);
+        assert_eq!(out_stride(0), 2);
+        assert_eq!(out_stride(32), 3);
+        assert_eq!(out_stride(33), 4);
+    }
+
+    #[test]
+    fn out_header_round_trip() {
+        let w = encode_out_header(2, 7);
+        assert_eq!(decode_out_header(w), (2, 7));
+    }
+}

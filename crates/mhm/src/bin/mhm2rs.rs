@@ -1,0 +1,16 @@
+//! `mhm2rs` — command-line metagenome assembler (see `mhm::cli`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "help" {
+        println!("{}", mhm::cli::USAGE);
+        return;
+    }
+    match mhm::cli::run(&args) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

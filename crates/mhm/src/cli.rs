@@ -1,0 +1,316 @@
+//! Command-line front end (`mhm2rs`): dataset simulation and assembly from
+//! FASTQ files on disk.
+//!
+//! Argument parsing is hand-rolled (no CLI dependency): subcommand followed
+//! by `--flag value` pairs and boolean `--flag`s. The heavy lifting lives
+//! in [`run_simulate`] / [`run_assemble`], which are plain functions over a
+//! parsed [`CliArgs`] so the test suite can drive them against temporary
+//! directories.
+
+use crate::iterative::{default_schedule, run_iterative};
+use crate::pipeline::{run_pipeline, EngineChoice, PipelineConfig};
+use crate::report::render_breakdown;
+use crate::stats::{evaluate_against_refs, AssemblyStats};
+use bioseq::fastq::{self, NPolicy};
+use bioseq::DnaSeq;
+use datagen::{arcticsynth_like, wa_like};
+use gpusim::DeviceConfig;
+use locassm::gpu::KernelVersion;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Parsed command line.
+#[derive(Debug, Clone, Default)]
+pub struct CliArgs {
+    pub subcommand: String,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl CliArgs {
+    /// Parse `argv[1..]`: first token is the subcommand, then `--key value`
+    /// pairs and bare `--switch`es.
+    pub fn parse(args: &[String]) -> Result<CliArgs, String> {
+        let mut it = args.iter();
+        let subcommand = it.next().ok_or("missing subcommand")?.clone();
+        if subcommand.starts_with("--") {
+            return Err(format!("expected subcommand, got flag {subcommand}"));
+        }
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        let rest: Vec<&String> = it.collect();
+        let mut i = 0;
+        while i < rest.len() {
+            let tok = rest[i];
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {tok}"))?;
+            if i + 1 < rest.len() && !rest[i + 1].starts_with("--") {
+                flags.insert(key.to_string(), rest[i + 1].clone());
+                i += 2;
+            } else {
+                switches.push(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(CliArgs { subcommand, flags, switches })
+    }
+
+    /// String flag value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Required flag or error.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    /// Parsed numeric flag with default.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Boolean switch.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+mhm2rs — MetaHipMer-like metagenome assembler (Rust reproduction of SC'21 GPU local assembly)
+
+USAGE:
+  mhm2rs simulate --out DIR [--preset arctic|wa] [--scale F]
+      Generate a synthetic community: reads_1.fastq, reads_2.fastq, refs.fasta.
+
+  mhm2rs assemble --r1 FILE --r2 FILE --out DIR
+      [--k N] [--gpu] [--kernel v1|v2] [--iterative] [--refs FILE]
+      Assemble paired FASTQ into contigs.fasta + scaffolds.fasta.
+";
+
+/// Entry point shared by main() and the tests.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let cli = CliArgs::parse(args)?;
+    match cli.subcommand.as_str() {
+        "simulate" => run_simulate(&cli),
+        "assemble" => run_assemble(&cli),
+        other => Err(format!("unknown subcommand {other}\n{USAGE}")),
+    }
+}
+
+/// `simulate`: write a preset dataset to disk.
+pub fn run_simulate(cli: &CliArgs) -> Result<String, String> {
+    let out = PathBuf::from(cli.require("out")?);
+    let scale: f64 = cli.get_num("scale", 0.05)?;
+    let preset = match cli.get("preset").unwrap_or("arctic") {
+        "arctic" => arcticsynth_like(scale),
+        "wa" => wa_like(scale),
+        other => return Err(format!("unknown preset {other} (arctic|wa)")),
+    };
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    let (community, pairs) = preset.generate();
+
+    let r1: Vec<bioseq::Read> = pairs.iter().map(|p| p.r1.clone()).collect();
+    let r2: Vec<bioseq::Read> = pairs.iter().map(|p| p.r2.clone()).collect();
+    write_fastq_file(&out.join("reads_1.fastq"), &r1)?;
+    write_fastq_file(&out.join("reads_2.fastq"), &r2)?;
+    let refs = community
+        .genomes
+        .iter()
+        .map(|g| (g.id.clone(), g.seq.clone()));
+    let f = File::create(out.join("refs.fasta")).map_err(|e| e.to_string())?;
+    fastq::write_fasta(BufWriter::new(f), refs, 80).map_err(|e| e.to_string())?;
+
+    Ok(format!(
+        "wrote {} read pairs from {} ({} genomes) to {}",
+        pairs.len(),
+        preset.name,
+        community.genomes.len(),
+        out.display()
+    ))
+}
+
+/// `assemble`: FASTQ in, FASTA out.
+pub fn run_assemble(cli: &CliArgs) -> Result<String, String> {
+    let r1_path = cli.require("r1")?;
+    let r2_path = cli.require("r2")?;
+    let out = PathBuf::from(cli.require("out")?);
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+
+    let r1 = read_fastq_file(Path::new(r1_path))?;
+    let r2 = read_fastq_file(Path::new(r2_path))?;
+    let pairs = fastq::pair_up(r1, r2).map_err(|e| e.to_string())?;
+
+    let mut cfg = PipelineConfig::default();
+    cfg.k = cli.get_num("k", 31)?;
+    if cli.has("gpu") || cli.get("kernel").is_some() {
+        let version = match cli.get("kernel").unwrap_or("v2") {
+            "v1" => KernelVersion::V1,
+            "v2" => KernelVersion::V2,
+            other => return Err(format!("unknown kernel {other} (v1|v2)")),
+        };
+        cfg.engine = EngineChoice::Gpu { device: DeviceConfig::v100(), version };
+    }
+
+    let mut report = String::new();
+    let (contigs, scaffolds) = if cli.has("iterative") {
+        let max_read = pairs.iter().map(|p| p.r1.len().max(p.r2.len())).max().unwrap_or(150);
+        let mut schedule = default_schedule(max_read);
+        if schedule.is_empty() {
+            schedule = vec![cfg.k];
+        }
+        let result = run_iterative(&pairs, &cfg, &schedule);
+        for r in &result.rounds {
+            report.push_str(&format!("round k={}: {}\n", r.k, r.stats.render()));
+        }
+        report.push('\n');
+        report.push_str(&render_breakdown("iterative pipeline", &result.timings));
+        let seqs: Vec<DnaSeq> =
+            result.scaffolds.iter().map(|s| s.render(&result.contigs)).collect();
+        (result.contigs, seqs)
+    } else {
+        let result = run_pipeline(&pairs, &cfg);
+        report.push_str(&render_breakdown("pipeline", &result.timings));
+        let seqs: Vec<DnaSeq> =
+            result.scaffolds.iter().map(|s| s.render(&result.contigs)).collect();
+        (result.contigs, seqs)
+    };
+
+    let stats = AssemblyStats::of(&contigs);
+    report.push_str(&format!("\ncontigs:   {}\n", stats.render()));
+    let sstats = AssemblyStats::of(&scaffolds);
+    report.push_str(&format!("scaffolds: {}\n", sstats.render()));
+
+    if let Some(refs_path) = cli.get("refs") {
+        let f = File::open(refs_path).map_err(|e| e.to_string())?;
+        let (refs, _) = fastq::parse_fasta(BufReader::new(f), NPolicy::Drop)
+            .map_err(|e| e.to_string())?;
+        let ref_seqs: Vec<DnaSeq> = refs.into_iter().map(|(_, s)| s).collect();
+        let eval = evaluate_against_refs(&contigs, &ref_seqs, 31.min(cfg.k));
+        report.push_str(&format!(
+            "vs refs:   genome fraction {:.1}%, precision {:.1}% (k={})\n",
+            eval.genome_fraction * 100.0,
+            eval.precision * 100.0,
+            eval.k
+        ));
+    }
+
+    let f = File::create(out.join("contigs.fasta")).map_err(|e| e.to_string())?;
+    fastq::write_fasta(
+        BufWriter::new(f),
+        contigs.iter().enumerate().map(|(i, c)| (format!("contig_{i}"), c.clone())),
+        80,
+    )
+    .map_err(|e| e.to_string())?;
+    let f = File::create(out.join("scaffolds.fasta")).map_err(|e| e.to_string())?;
+    fastq::write_fasta(
+        BufWriter::new(f),
+        scaffolds.iter().enumerate().map(|(i, s)| (format!("scaffold_{i}"), s.clone())),
+        80,
+    )
+    .map_err(|e| e.to_string())?;
+
+    Ok(report)
+}
+
+fn write_fastq_file(path: &Path, reads: &[bioseq::Read]) -> Result<(), String> {
+    let f = File::create(path).map_err(|e| e.to_string())?;
+    let mut w = BufWriter::new(f);
+    fastq::write_fastq(&mut w, reads).map_err(|e| e.to_string())?;
+    w.flush().map_err(|e| e.to_string())
+}
+
+fn read_fastq_file(path: &Path) -> Result<Vec<bioseq::Read>, String> {
+    let f = File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let (reads, dropped) =
+        fastq::parse_fastq(BufReader::new(f), NPolicy::Drop).map_err(|e| e.to_string())?;
+    if dropped > 0 {
+        eprintln!("note: dropped {dropped} reads with ambiguous bases");
+    }
+    Ok(reads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_flags_and_switches() {
+        let cli = CliArgs::parse(&argv("assemble --r1 a.fq --r2 b.fq --gpu --k 41")).unwrap();
+        assert_eq!(cli.subcommand, "assemble");
+        assert_eq!(cli.get("r1"), Some("a.fq"));
+        assert_eq!(cli.get_num::<usize>("k", 31).unwrap(), 41);
+        assert!(cli.has("gpu"));
+        assert!(!cli.has("iterative"));
+    }
+
+    #[test]
+    fn parse_rejects_missing_subcommand() {
+        assert!(CliArgs::parse(&[]).is_err());
+        assert!(CliArgs::parse(&argv("--out x")).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let cli = CliArgs::parse(&argv("simulate")).unwrap();
+        let err = cli.require("out").unwrap_err();
+        assert!(err.contains("--out"));
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        let cli = CliArgs::parse(&argv("assemble --k abc")).unwrap();
+        assert!(cli.get_num::<usize>("k", 31).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_shows_usage() {
+        let err = run(&argv("frobnicate")).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn simulate_then_assemble_round_trip() {
+        let dir = std::env::temp_dir().join(format!("mhm2rs_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_string_lossy().to_string();
+
+        let msg = run(&argv(&format!("simulate --out {out} --preset arctic --scale 0.01")))
+            .expect("simulate");
+        assert!(msg.contains("read pairs"));
+        assert!(dir.join("reads_1.fastq").exists());
+        assert!(dir.join("refs.fasta").exists());
+
+        let report = run(&argv(&format!(
+            "assemble --r1 {out}/reads_1.fastq --r2 {out}/reads_2.fastq --out {out}/asm \
+             --refs {out}/refs.fasta"
+        )))
+        .expect("assemble");
+        assert!(report.contains("contigs:"), "{report}");
+        assert!(report.contains("genome fraction"), "{report}");
+        assert!(dir.join("asm/contigs.fasta").exists());
+        assert!(dir.join("asm/scaffolds.fasta").exists());
+
+        // GPU engine must produce identical contigs on disk.
+        let cpu = std::fs::read_to_string(dir.join("asm/contigs.fasta")).unwrap();
+        run(&argv(&format!(
+            "assemble --r1 {out}/reads_1.fastq --r2 {out}/reads_2.fastq --out {out}/asm_gpu --gpu"
+        )))
+        .expect("gpu assemble");
+        let gpu = std::fs::read_to_string(dir.join("asm_gpu/contigs.fasta")).unwrap();
+        assert_eq!(cpu, gpu);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,421 @@
+//! End-to-end pipeline orchestration with per-phase timing.
+
+use crate::merge::{merge_reads, MergeParams, MergeStats};
+use crate::scaffold::{scaffold_contigs, Scaffold, ScaffoldParams};
+use align::{collect_candidates, CandidateParams, SeedIndex};
+use align::sw::{banded_sw, SwScoring};
+use bioseq::{DnaSeq, PairedRead};
+use dbg::{count_kmers, count_kmers_with_spectrum, generate_contigs, DbgGraph};
+use gpusim::DeviceConfig;
+use locassm::gpu::{GpuLocalAssembler, GpuRunStats, KernelVersion};
+use locassm::{apply_extensions, bin_tasks, extend_all_cpu, make_tasks, summarize, BinStats, ExtSummary, LocalAssemblyParams};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Pipeline phases, named as in the paper's run-time breakdowns (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    MergeReads,
+    KmerAnalysis,
+    ContigGeneration,
+    Alignment,
+    AlnKernel,
+    LocalAssembly,
+    Scaffolding,
+    FileIo,
+}
+
+impl Phase {
+    /// All phases in pipeline order.
+    pub const ALL: [Phase; 8] = [
+        Phase::MergeReads,
+        Phase::KmerAnalysis,
+        Phase::ContigGeneration,
+        Phase::Alignment,
+        Phase::AlnKernel,
+        Phase::LocalAssembly,
+        Phase::Scaffolding,
+        Phase::FileIo,
+    ];
+
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::MergeReads => "merge reads",
+            Phase::KmerAnalysis => "k-mer analysis",
+            Phase::ContigGeneration => "contig generation",
+            Phase::Alignment => "alignment",
+            Phase::AlnKernel => "aln kernel",
+            Phase::LocalAssembly => "local assembly",
+            Phase::Scaffolding => "scaffolding",
+            Phase::FileIo => "file I/O",
+        }
+    }
+}
+
+/// Seconds per phase.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    entries: Vec<(Phase, f64)>,
+}
+
+impl PhaseTimings {
+    /// Empty timings.
+    pub fn new() -> PhaseTimings {
+        PhaseTimings::default()
+    }
+
+    /// Record (accumulate) seconds for a phase.
+    pub fn add(&mut self, phase: Phase, seconds: f64) {
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == phase) {
+            e.1 += seconds;
+        } else {
+            self.entries.push((phase, seconds));
+        }
+    }
+
+    /// Seconds recorded for a phase (0 if absent).
+    pub fn get(&self, phase: Phase) -> f64 {
+        self.entries
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map_or(0.0, |(_, s)| *s)
+    }
+
+    /// Replace a phase's time (used when substituting the simulated GPU
+    /// time for the measured host time).
+    pub fn set(&mut self, phase: Phase, seconds: f64) {
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == phase) {
+            e.1 = seconds;
+        } else {
+            self.entries.push((phase, seconds));
+        }
+    }
+
+    /// Total across phases.
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|(_, s)| s).sum()
+    }
+
+    /// `(phase, seconds, fraction)` rows in pipeline order.
+    pub fn breakdown(&self) -> Vec<(Phase, f64, f64)> {
+        let total = self.total().max(f64::MIN_POSITIVE);
+        Phase::ALL
+            .iter()
+            .map(|&p| (p, self.get(p), self.get(p) / total))
+            .collect()
+    }
+}
+
+/// Which local-assembly engine the pipeline uses.
+#[derive(Debug, Clone)]
+pub enum EngineChoice {
+    /// Multicore CPU reference.
+    Cpu,
+    /// Simulated-GPU engine with the given device and kernel version.
+    Gpu { device: DeviceConfig, version: KernelVersion },
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Contig-generation k.
+    pub k: usize,
+    /// Minimum k-mer count (singleton filter).
+    pub min_kmer_count: u32,
+    /// Minimum extension votes during contig generation.
+    pub min_votes: u16,
+    /// Discard contigs shorter than this before downstream phases.
+    pub min_contig_len: usize,
+    pub merge: MergeParams,
+    pub candidates: CandidateParams,
+    pub locassm: LocalAssemblyParams,
+    pub scaffold: ScaffoldParams,
+    pub engine: EngineChoice,
+    /// Fraction of accepted candidate alignments rescored with banded SW
+    /// (the "aln kernel" phase; 0 disables).
+    pub sw_rescore_frac: f64,
+    /// Derive the singleton-filter cutoff from the k-mer spectrum's error
+    /// valley instead of using `min_kmer_count` directly.
+    pub auto_min_count: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            k: 31,
+            min_kmer_count: 2,
+            min_votes: 2,
+            min_contig_len: 100,
+            merge: MergeParams::default(),
+            candidates: CandidateParams::default(),
+            locassm: LocalAssemblyParams::for_tests(),
+            scaffold: ScaffoldParams::default(),
+            engine: EngineChoice::Cpu,
+            sw_rescore_frac: 0.25,
+            auto_min_count: false,
+        }
+    }
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug)]
+pub struct PipelineResult {
+    /// Contigs after local-assembly extension.
+    pub contigs: Vec<DnaSeq>,
+    /// Scaffolds over the extended contigs.
+    pub scaffolds: Vec<Scaffold>,
+    /// Wall-clock seconds per phase. For the GPU engine, the LocalAssembly
+    /// entry is the *simulated device time*; the host wall time is in
+    /// `stats.la_wall_seconds`.
+    pub timings: PhaseTimings,
+    pub stats: PipelineStats,
+}
+
+/// Run statistics.
+#[derive(Debug, Default)]
+pub struct PipelineStats {
+    pub pairs_in: usize,
+    pub merge: MergeStats,
+    pub reads_for_assembly: usize,
+    pub distinct_kmers: usize,
+    /// The singleton cutoff actually used (spectrum-derived when
+    /// `auto_min_count` is set).
+    pub min_count_used: u32,
+    pub contigs_initial: usize,
+    pub contigs_kept: usize,
+    pub bins: BinStats,
+    pub tasks: usize,
+    pub bases_appended: usize,
+    /// Walk-outcome telemetry (states, iterations, extension lengths).
+    pub ext_summary: ExtSummary,
+    /// Host wall seconds spent in local assembly (whichever engine).
+    pub la_wall_seconds: f64,
+    /// Simulated device seconds (GPU engine only).
+    pub la_gpu_sim_seconds: Option<f64>,
+    /// GPU engine run stats (GPU engine only).
+    pub gpu: Option<GpuRunStats>,
+    pub scaffolds: usize,
+    pub fasta_bytes: usize,
+}
+
+/// Run the full pipeline on a set of read pairs.
+pub fn run_pipeline(pairs: &[PairedRead], cfg: &PipelineConfig) -> PipelineResult {
+    let mut timings = PhaseTimings::new();
+    let mut stats = PipelineStats { pairs_in: pairs.len(), ..Default::default() };
+
+    // 1. merge reads
+    let t = Instant::now();
+    let (reads, merge_stats) = merge_reads(pairs, &cfg.merge);
+    timings.add(Phase::MergeReads, t.elapsed().as_secs_f64());
+    stats.merge = merge_stats;
+    stats.reads_for_assembly = reads.len();
+
+    // 2. k-mer analysis
+    let t = Instant::now();
+    let counts = if cfg.auto_min_count {
+        let (mut map, spectrum) = count_kmers_with_spectrum(&reads, cfg.k, 1, 128);
+        let cutoff = spectrum.error_cutoff().unwrap_or(cfg.min_kmer_count);
+        stats.min_count_used = cutoff.max(cfg.min_kmer_count);
+        let mc = stats.min_count_used;
+        map.retain(|_, v| v.count >= mc);
+        map
+    } else {
+        stats.min_count_used = cfg.min_kmer_count;
+        count_kmers(&reads, cfg.k, cfg.min_kmer_count)
+    };
+    timings.add(Phase::KmerAnalysis, t.elapsed().as_secs_f64());
+    stats.distinct_kmers = counts.len();
+
+    // 3. contig generation
+    let t = Instant::now();
+    let graph = DbgGraph::new(cfg.k, counts);
+    let raw_contigs = generate_contigs(&graph, cfg.min_votes);
+    stats.contigs_initial = raw_contigs.len();
+    let contigs: Vec<DnaSeq> = raw_contigs
+        .into_iter()
+        .filter(|c| c.len() >= cfg.min_contig_len)
+        .map(|c| c.seq)
+        .collect();
+    stats.contigs_kept = contigs.len();
+    timings.add(Phase::ContigGeneration, t.elapsed().as_secs_f64());
+
+    // 4. alignment (+ aln kernel rescoring)
+    let t = Instant::now();
+    let idx = SeedIndex::build(&contigs, cfg.scaffold.seed_k, cfg.scaffold.max_occ);
+    let cands = collect_candidates(&contigs, &reads, &idx, &cfg.candidates);
+    timings.add(Phase::Alignment, t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    if cfg.sw_rescore_frac > 0.0 {
+        let mut budget = (cands.iter().map(|c| c.total()).sum::<usize>() as f64
+            * cfg.sw_rescore_frac) as usize;
+        'outer: for (ci, c) in cands.iter().enumerate() {
+            for r in c.right.iter().chain(c.left.iter()) {
+                if budget == 0 {
+                    break 'outer;
+                }
+                let _ = banded_sw(&r.seq, &contigs[ci], SwScoring::default(), 16, 0);
+                budget -= 1;
+            }
+        }
+    }
+    timings.add(Phase::AlnKernel, t.elapsed().as_secs_f64());
+
+    // 5. local assembly
+    let cand_pairs: Vec<(Vec<bioseq::Read>, Vec<bioseq::Read>)> =
+        cands.into_iter().map(|c| (c.right, c.left)).collect();
+    let tasks = make_tasks(&contigs, &cand_pairs, &cfg.locassm);
+    stats.tasks = tasks.len();
+    stats.bins = bin_tasks(&tasks);
+    let t = Instant::now();
+    let results = match &cfg.engine {
+        EngineChoice::Cpu => extend_all_cpu(&tasks, &cfg.locassm),
+        EngineChoice::Gpu { device, version } => {
+            let mut engine =
+                GpuLocalAssembler::new(device.clone(), cfg.locassm.clone(), *version);
+            let (results, gpu_stats) = engine.extend_tasks(&tasks);
+            stats.la_gpu_sim_seconds = Some(gpu_stats.seconds);
+            stats.gpu = Some(gpu_stats);
+            results
+        }
+    };
+    stats.la_wall_seconds = t.elapsed().as_secs_f64();
+    stats.bases_appended = results.iter().map(|r| r.appended.len()).sum();
+    stats.ext_summary = summarize(&results);
+    let extended = apply_extensions(&contigs, &tasks, &results);
+    match stats.la_gpu_sim_seconds {
+        Some(sim) => timings.add(Phase::LocalAssembly, sim),
+        None => timings.add(Phase::LocalAssembly, stats.la_wall_seconds),
+    }
+
+    // 6. scaffolding
+    let t = Instant::now();
+    let scaffolds = scaffold_contigs(&extended, pairs, &cfg.scaffold);
+    stats.scaffolds = scaffolds.len();
+    timings.add(Phase::Scaffolding, t.elapsed().as_secs_f64());
+
+    // 7. file I/O (serialize to an in-memory sink; callers persist if they
+    // want a file — the cost is the serialization itself).
+    let t = Instant::now();
+    let mut sink = Vec::new();
+    let records = scaffolds
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (format!("scaffold_{i}"), s.render(&extended)));
+    bioseq::fastq::write_fasta(&mut sink, records, 80).expect("in-memory write");
+    stats.fasta_bytes = sink.len();
+    timings.add(Phase::FileIo, t.elapsed().as_secs_f64());
+
+    PipelineResult { contigs: extended, scaffolds, timings, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{arcticsynth_like, generate_community, simulate_reads, CommunityConfig, ReadSimConfig};
+
+    fn tiny_dataset() -> (datagen::Community, Vec<PairedRead>) {
+        let community = generate_community(&CommunityConfig {
+            n_species: 2,
+            genome_len: (8_000, 9_000),
+            abundance_sigma: 0.3,
+            seed: 11,
+            ..Default::default()
+        });
+        let pairs = simulate_reads(
+            &community,
+            &ReadSimConfig {
+                n_pairs: 3_000,
+                read_len: 100,
+                insert_mean: 240.0,
+                insert_sd: 15.0,
+                lo_frac: 0.01,
+                ..Default::default()
+            },
+        );
+        (community, pairs)
+    }
+
+    #[test]
+    fn cpu_pipeline_assembles_genomes() {
+        let (community, pairs) = tiny_dataset();
+        let cfg = PipelineConfig::default();
+        let result = run_pipeline(&pairs, &cfg);
+        assert!(result.stats.contigs_kept > 0, "no contigs survived");
+        assert!(result.stats.distinct_kmers > 1000);
+        // Longest contig should cover a large chunk of some genome.
+        let longest = result.contigs.iter().map(DnaSeq::len).max().unwrap();
+        let min_genome = community.genomes.iter().map(|g| g.seq.len()).min().unwrap();
+        assert!(
+            longest as f64 > 0.5 * min_genome as f64,
+            "longest contig {longest} vs smallest genome {min_genome}"
+        );
+        // All phases ticked.
+        for p in Phase::ALL {
+            assert!(result.timings.get(p) >= 0.0);
+        }
+        assert!(result.timings.get(Phase::LocalAssembly) > 0.0);
+    }
+
+    #[test]
+    fn gpu_pipeline_matches_cpu_contigs() {
+        let (_, pairs) = tiny_dataset();
+        let cpu_cfg = PipelineConfig::default();
+        let gpu_cfg = PipelineConfig {
+            engine: EngineChoice::Gpu {
+                device: DeviceConfig::v100(),
+                version: KernelVersion::V2,
+            },
+            ..PipelineConfig::default()
+        };
+        let cpu = run_pipeline(&pairs, &cpu_cfg);
+        let gpu = run_pipeline(&pairs, &gpu_cfg);
+        assert_eq!(cpu.contigs, gpu.contigs, "engines must produce identical assemblies");
+        assert!(gpu.stats.la_gpu_sim_seconds.unwrap() > 0.0);
+        assert!(gpu.stats.gpu.as_ref().unwrap().counters.warp_insts() > 0);
+    }
+
+    #[test]
+    fn local_assembly_extends_contigs() {
+        let (_, pairs) = tiny_dataset();
+        let result = run_pipeline(&pairs, &PipelineConfig::default());
+        assert!(
+            result.stats.bases_appended > 0,
+            "local assembly appended nothing"
+        );
+    }
+
+    #[test]
+    fn preset_smoke() {
+        let (_, pairs) = arcticsynth_like(0.02).generate();
+        let result = run_pipeline(&pairs, &PipelineConfig::default());
+        assert!(result.stats.reads_for_assembly > 0);
+        assert_eq!(result.stats.pairs_in, pairs.len());
+    }
+
+    #[test]
+    fn ext_summary_consistent_with_stats() {
+        let (_, pairs) = tiny_dataset();
+        let result = run_pipeline(&pairs, &PipelineConfig::default());
+        assert_eq!(result.stats.ext_summary.tasks, result.stats.tasks);
+        assert_eq!(result.stats.ext_summary.bases_appended, result.stats.bases_appended);
+    }
+
+    #[test]
+    fn auto_min_count_uses_spectrum() {
+        let (_, pairs) = tiny_dataset();
+        let cfg = PipelineConfig { auto_min_count: true, ..PipelineConfig::default() };
+        let result = run_pipeline(&pairs, &cfg);
+        assert!(result.stats.min_count_used >= 2, "cutoff {}", result.stats.min_count_used);
+        assert!(result.stats.contigs_kept > 0);
+    }
+
+    #[test]
+    fn timings_breakdown_sums_to_one() {
+        let (_, pairs) = tiny_dataset();
+        let result = run_pipeline(&pairs, &PipelineConfig::default());
+        let frac_sum: f64 = result.timings.breakdown().iter().map(|(_, _, f)| f).sum();
+        assert!((frac_sum - 1.0).abs() < 1e-9);
+    }
+}

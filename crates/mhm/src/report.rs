@@ -1,0 +1,96 @@
+//! Text rendering of breakdowns and series tables for the figure harnesses.
+
+use crate::pipeline::PhaseTimings;
+
+/// Render a phase breakdown as a fixed-width table with percentage bars —
+//  the textual equivalent of the paper's pie charts (Fig. 2, Fig. 12).
+pub fn render_breakdown(title: &str, timings: &PhaseTimings) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!("{:-<70}\n", ""));
+    for (phase, secs, frac) in timings.breakdown() {
+        let bar_len = (frac * 40.0).round() as usize;
+        out.push_str(&format!(
+            "{:<18} {:>10.3} s {:>6.1}% |{:<40}|\n",
+            phase.name(),
+            secs,
+            frac * 100.0,
+            "#".repeat(bar_len)
+        ));
+    }
+    out.push_str(&format!(
+        "{:<18} {:>10.3} s  100.0%\n",
+        "TOTAL",
+        timings.total()
+    ));
+    out
+}
+
+/// Render a generic aligned table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        line.trim_end().to_string() + "\n"
+    };
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push_str(&format!(
+        "{}\n",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))
+    ));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Phase;
+
+    #[test]
+    fn breakdown_renders_all_phases() {
+        let mut t = PhaseTimings::new();
+        t.add(Phase::MergeReads, 1.0);
+        t.add(Phase::LocalAssembly, 3.0);
+        let s = render_breakdown("demo", &t);
+        assert!(s.contains("merge reads"));
+        assert!(s.contains("local assembly"));
+        assert!(s.contains("75.0%"));
+        assert!(s.contains("TOTAL"));
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let s = render_table(
+            &["nodes", "speedup"],
+            &[
+                vec!["64".into(), "7.00".into()],
+                vec!["1024".into(), "2.65".into()],
+            ],
+        );
+        assert!(s.contains("nodes"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_rejected() {
+        render_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,67 @@
+//! A skewed "marine-community" assembly (WA-like preset): the workload the
+//! paper's large-scale evaluation runs, scaled to a workstation.
+//!
+//! ```text
+//! cargo run --release -p bench --example marine_metagenome
+//! ```
+//!
+//! Assembles the WA-like dataset twice — once with the CPU local-assembly
+//! engine and once with the simulated-GPU engine — and compares the phase
+//! breakdowns (the laptop-scale analogue of Figures 2a/2b).
+
+use datagen::wa_like;
+use gpusim::DeviceConfig;
+use locassm::gpu::KernelVersion;
+use mhm::report::render_breakdown;
+use mhm::{run_pipeline, EngineChoice, Phase, PipelineConfig};
+
+fn main() {
+    let preset = wa_like(0.2);
+    println!("generating {} ...", preset.name);
+    let (community, pairs) = preset.generate();
+    println!(
+        "{} species (abundance skew sigma=1.8), {} read pairs\n",
+        community.genomes.len(),
+        pairs.len()
+    );
+
+    let cpu_cfg = PipelineConfig::default();
+    let gpu_cfg = PipelineConfig {
+        engine: EngineChoice::Gpu {
+            device: DeviceConfig::v100(),
+            version: KernelVersion::V2,
+        },
+        ..PipelineConfig::default()
+    };
+
+    println!("assembling with CPU local assembly ...");
+    let cpu = run_pipeline(&pairs, &cpu_cfg);
+    println!("assembling with GPU local assembly ...");
+    let gpu = run_pipeline(&pairs, &gpu_cfg);
+    assert_eq!(cpu.contigs, gpu.contigs, "engines must agree");
+
+    println!("\n{}", render_breakdown("with CPU local assembly", &cpu.timings));
+    println!(
+        "{}",
+        render_breakdown(
+            "with GPU local assembly (LA entry = simulated V100 seconds)",
+            &gpu.timings
+        )
+    );
+    println!(
+        "local assembly share: {:.1}% -> {:.1}% of total (paper at Summit scale: 34% -> 6%)",
+        100.0 * cpu.timings.get(Phase::LocalAssembly) / cpu.timings.total(),
+        100.0 * gpu.timings.get(Phase::LocalAssembly) / gpu.timings.total(),
+    );
+    println!(
+        "\nassembly: {} contigs, {} scaffolds, {} bases appended by local assembly",
+        gpu.stats.contigs_kept, gpu.stats.scaffolds, gpu.stats.bases_appended
+    );
+    let gstats = gpu.stats.gpu.as_ref().expect("gpu stats");
+    println!(
+        "device: {} tasks in {} launches, peak {:.1} MB of 16 GB",
+        gstats.device_tasks,
+        gstats.launches,
+        gstats.peak_mem_words as f64 * 8.0 / 1e6
+    );
+}

@@ -1,0 +1,136 @@
+//! Randomized invariants of the gpusim memory/coalescing model and its
+//! interaction with the local-assembly kernels.
+
+use gpusim::{Device, DeviceConfig, WARP};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Coalescing bound: a warp load of n participating lanes generates
+    /// between 1 and n transactions, and exactly
+    /// #distinct-sectors transactions.
+    #[test]
+    fn load_transactions_match_distinct_sectors(addrs in proptest::collection::vec(0u64..1024, 1..32)) {
+        let mut dev = Device::new(DeviceConfig::tiny());
+        dev.alloc(2048).unwrap();
+        let n = addrs.len();
+        let stats = dev.launch(1, 0, |ctx| {
+            let a = ctx.lanes_from(|l| addrs.get(l).copied());
+            ctx.ld_global(&a);
+        });
+        let mut sectors: Vec<u64> = addrs.iter().map(|a| a / 4).collect();
+        sectors.sort_unstable();
+        sectors.dedup();
+        prop_assert_eq!(stats.counters.global_ld_transactions, sectors.len() as u64);
+        prop_assert!(stats.counters.global_ld_transactions >= 1);
+        prop_assert!(stats.counters.global_ld_transactions <= n as u64);
+    }
+
+    /// Atomic adds from all lanes to one address serialize: the final value
+    /// is the sum regardless of lane values.
+    #[test]
+    fn atomic_add_sums_all_lanes(vals in proptest::collection::vec(0u64..1000, 32)) {
+        let mut dev = Device::new(DeviceConfig::tiny());
+        let buf = dev.alloc(16).unwrap();
+        let vals2 = vals.clone();
+        dev.launch(1, 0, move |ctx| {
+            let ops = ctx.lanes_from(|l| Some((buf.addr + 3, vals2[l])));
+            ctx.atomic_add(&ops);
+        });
+        prop_assert_eq!(dev.d2h_word(buf, 3), vals.iter().sum::<u64>());
+    }
+
+    /// CAS claim semantics: when all lanes CAS the same slot from the same
+    /// expected value, exactly one succeeds.
+    #[test]
+    fn cas_exactly_one_winner(news in proptest::collection::vec(1u64..u64::MAX, 32)) {
+        let mut dev = Device::new(DeviceConfig::tiny());
+        let buf = dev.alloc(4).unwrap();
+        let news2 = news.clone();
+        let mut winner_val = 0u64;
+        dev.launch(1, 0, |ctx| {
+            let ops = ctx.lanes_from(|l| Some((buf.addr, 0u64, news2[l])));
+            let old = ctx.atomic_cas(&ops);
+            let winners: Vec<usize> = (0..WARP).filter(|&l| old[l] == 0).collect();
+            assert_eq!(winners.len(), 1);
+            winner_val = news2[winners[0]];
+        });
+        prop_assert_eq!(dev.d2h_word(buf, 0), winner_val);
+    }
+}
+
+#[test]
+fn timing_monotone_in_work() {
+    // More transactions can never make the estimated kernel faster.
+    let cfg = DeviceConfig::v100();
+    let mut prev = 0.0;
+    for scale in [1usize, 4, 16, 64] {
+        let mut dev = Device::new(cfg.clone());
+        dev.alloc(1 << 20).unwrap();
+        let stats = dev.launch(64, 0, |ctx| {
+            let mut rng = StdRng::seed_from_u64(ctx.warp_id as u64);
+            for _ in 0..scale * 10 {
+                let a = ctx.lanes_from(|_| Some(rng.gen_range(0..(1 << 20))));
+                ctx.ld_global(&a);
+            }
+        });
+        let t = stats.timing.kernel_seconds;
+        assert!(t >= prev, "time decreased with more work");
+        prev = t;
+    }
+}
+
+#[test]
+fn scattered_slower_than_coalesced() {
+    // The same number of load instructions costs more when scattered —
+    // the mechanism behind the v1/v2 gap.
+    let cfg = DeviceConfig::v100();
+    let run = |stride: u64| {
+        let mut dev = Device::new(cfg.clone());
+        dev.alloc(1 << 22).unwrap();
+        // Enough warps that resident parallelism hides latency and the
+        // launch is bandwidth-bound (the regime where coalescing matters).
+        let stats = dev.launch(5120, 0, |ctx| {
+            for i in 0..50u64 {
+                let a = ctx.lanes_from(|l| Some((i * 32 + l as u64) * stride % (1 << 22)));
+                ctx.ld_global(&a);
+            }
+        });
+        stats.timing.kernel_seconds
+    };
+    let coalesced = run(1);
+    let scattered = run(97); // co-prime stride: every lane its own sector
+    assert!(
+        scattered > 2.0 * coalesced,
+        "scattered {scattered} vs coalesced {coalesced}"
+    );
+}
+
+#[test]
+fn local_memory_isolated_per_lane() {
+    let mut dev = Device::new(DeviceConfig::tiny());
+    dev.launch(1, 8, |ctx| {
+        // Each lane stores its id at offset 0 of its own local slice.
+        let offs = ctx.lanes_from(|_| Some(0u64));
+        let vals = ctx.lanes_from(|l| l as u64 * 11);
+        ctx.st_local(&offs, &vals);
+        let out = ctx.ld_local(&offs);
+        for l in 0..WARP {
+            assert_eq!(out[l], l as u64 * 11, "lane {l} saw another lane's local");
+        }
+    });
+}
+
+#[test]
+fn device_oom_is_clean_error() {
+    let mut dev = Device::new(DeviceConfig::tiny());
+    let cap = dev.config().capacity_words();
+    assert!(dev.alloc(cap / 2).is_ok());
+    let err = dev.alloc(cap).unwrap_err();
+    assert!(err.free_words < cap);
+    // Device stays usable after the failed allocation.
+    assert!(dev.alloc(cap / 4).is_ok());
+}
