@@ -20,12 +20,7 @@ pub struct AlignParams {
 
 impl Default for AlignParams {
     fn default() -> Self {
-        AlignParams {
-            min_seeds: 2,
-            seed_stride: 4,
-            min_overlap: 30,
-            max_mismatch_frac: 0.1,
-        }
+        AlignParams { min_seeds: 2, seed_stride: 4, min_overlap: 30, max_mismatch_frac: 0.1 }
     }
 }
 
@@ -139,13 +134,7 @@ fn verify(
     if f64::from(mismatches) > params.max_mismatch_frac * overlap as f64 {
         return None;
     }
-    Some(AlignHit {
-        contig,
-        offset,
-        rc,
-        overlap: overlap as u32,
-        mismatches,
-    })
+    Some(AlignHit { contig, offset, rc, overlap: overlap as u32, mismatches })
 }
 
 #[cfg(test)]
@@ -156,9 +145,7 @@ mod tests {
 
     fn random_seq(len: usize, seed: u64) -> DnaSeq {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..len)
-            .map(|_| bioseq::Base::from_code(rng.gen_range(0..4)))
-            .collect()
+        (0..len).map(|_| bioseq::Base::from_code(rng.gen_range(0..4))).collect()
     }
 
     fn setup(len: usize) -> (Vec<DnaSeq>, SeedIndex) {

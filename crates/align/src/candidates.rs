@@ -26,11 +26,7 @@ pub struct CandidateParams {
 
 impl Default for CandidateParams {
     fn default() -> Self {
-        CandidateParams {
-            align: AlignParams::default(),
-            min_overhang: 5,
-            max_candidates: 3000,
-        }
+        CandidateParams { align: AlignParams::default(), min_overhang: 5, max_candidates: 3000 }
     }
 }
 
@@ -73,9 +69,7 @@ pub fn collect_candidates(
                 let rlen = oriented.len() as i64;
                 let right_overhang = h.offset + rlen - clen;
                 let left_overhang = -h.offset;
-                if right_overhang >= params.min_overhang as i64
-                    && h.offset < clen
-                {
+                if right_overhang >= params.min_overhang as i64 && h.offset < clen {
                     out.push((ri, h.contig, true, oriented.clone()));
                 }
                 if left_overhang >= params.min_overhang as i64 && h.offset + rlen > 0 {
@@ -107,9 +101,7 @@ mod tests {
 
     fn random_seq(len: usize, seed: u64) -> DnaSeq {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..len)
-            .map(|_| bioseq::Base::from_code(rng.gen_range(0..4)))
-            .collect()
+        (0..len).map(|_| bioseq::Base::from_code(rng.gen_range(0..4))).collect()
     }
 
     /// A genome with a contig that is a window of it, plus reads tiling the
@@ -120,11 +112,7 @@ mod tests {
         let mut reads = Vec::new();
         let mut pos = 0;
         while pos + 100 <= genome.len() {
-            reads.push(Read::with_uniform_qual(
-                format!("r{pos}"),
-                genome.subseq(pos, 100),
-                35,
-            ));
+            reads.push(Read::with_uniform_qual(format!("r{pos}"), genome.subseq(pos, 100), 35));
             pos += 10;
         }
         let contigs = vec![contig];
@@ -151,11 +139,7 @@ mod tests {
         for r in cands[0].right.iter() {
             // Oriented reads must share a long exact suffix... simpler:
             // every right candidate must contain bases not in the contig.
-            assert!(
-                !contigs[0].contains(&r.seq),
-                "read {} is fully interior",
-                r.id
-            );
+            assert!(!contigs[0].contains(&r.seq), "read {} is fully interior", r.id);
         }
     }
 
@@ -187,8 +171,7 @@ mod tests {
     #[test]
     fn cap_respected() {
         let (contigs, reads, idx) = setup();
-        let mut p = CandidateParams::default();
-        p.max_candidates = 3;
+        let p = CandidateParams { max_candidates: 3, ..Default::default() };
         let cands = collect_candidates(&contigs, &reads, &idx, &p);
         assert!(cands[0].right.len() <= 3);
         assert!(cands[0].left.len() <= 3);

@@ -92,7 +92,7 @@ mod tests {
     #[test]
     fn indexes_all_positions() {
         let c = seq("ACGGTTCAAGTA");
-        let idx = SeedIndex::build(&[c.clone()], 8, 100);
+        let idx = SeedIndex::build(std::slice::from_ref(&c), 8, 100);
         // 12 - 8 + 1 = 5 k-mers, all unique for this sequence.
         assert_eq!(idx.len(), 5);
         let km = Kmer::from_seq(&c, 2, 8).canonical();
@@ -106,7 +106,7 @@ mod tests {
     fn repeat_masking() {
         // A homopolymer makes one k-mer occur many times.
         let c = seq(&"A".repeat(50));
-        let idx = SeedIndex::build(&[c.clone()], 8, 10);
+        let idx = SeedIndex::build(std::slice::from_ref(&c), 8, 10);
         assert_eq!(idx.len(), 0, "repeat seed must be masked");
         let idx2 = SeedIndex::build(&[c], 8, 100);
         assert_eq!(idx2.len(), 1);
@@ -115,7 +115,7 @@ mod tests {
     #[test]
     fn orientation_recorded() {
         let c = seq("ACGGTTCAAGTA");
-        let idx = SeedIndex::build(&[c.clone()], 8, 100);
+        let idx = SeedIndex::build(std::slice::from_ref(&c), 8, 100);
         for pos in 0..5usize {
             let km = Kmer::from_seq(&c, pos, 8);
             let canon = km.canonical();

@@ -73,7 +73,7 @@ fn bench_ablations(c: &mut Criterion) {
     // --- CPU/GPU overlap driver (DESIGN.md ablation 5) ---
     for frac in [0.0, 0.5, 1.0] {
         let driver = locassm::OverlapDriver { cpu_bin2_fraction: frac, ..Default::default() };
-        let out = driver.run(&dump.tasks, &params);
+        let out = driver.run(&dump.tasks, &params).expect("driver runs");
         println!(
             "[overlap] cpu_bin2_fraction={frac}: cpu {} tasks / {:.4}s wall, gpu {} tasks / {:.4}s wall ({:.6}s sim)",
             out.cpu_tasks,

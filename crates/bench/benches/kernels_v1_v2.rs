@@ -19,11 +19,8 @@ fn bench_kernels(c: &mut Criterion) {
     for (name, version) in [("v1", KernelVersion::V1), ("v2", KernelVersion::V2)] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let mut engine = GpuLocalAssembler::new(
-                    DeviceConfig::v100(),
-                    params.clone(),
-                    version,
-                );
+                let mut engine =
+                    GpuLocalAssembler::new(DeviceConfig::v100(), params.clone(), version);
                 black_box(engine.extend_tasks(&dump.tasks))
             })
         });

@@ -13,9 +13,7 @@ use std::time::Duration;
 
 fn random_seq(len: usize, sd: u64) -> DnaSeq {
     let mut rng = StdRng::seed_from_u64(sd);
-    (0..len)
-        .map(|_| bioseq::Base::from_code(rng.gen_range(0..4)))
-        .collect()
+    (0..len).map(|_| bioseq::Base::from_code(rng.gen_range(0..4))).collect()
 }
 
 fn bench_kmer_ops(c: &mut Criterion) {

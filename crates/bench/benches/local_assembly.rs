@@ -24,11 +24,8 @@ fn bench_local_assembly(c: &mut Criterion) {
 
     group.bench_function("gpu_engine_v2_sim", |b| {
         b.iter(|| {
-            let mut engine = GpuLocalAssembler::new(
-                DeviceConfig::v100(),
-                params.clone(),
-                KernelVersion::V2,
-            );
+            let mut engine =
+                GpuLocalAssembler::new(DeviceConfig::v100(), params.clone(), KernelVersion::V2);
             black_box(engine.extend_tasks(&dump.tasks))
         })
     });

@@ -14,16 +14,11 @@ use locassm::LocalAssemblyParams;
 fn main() {
     let dump = local_assembly_dump(&arcticsynth_like(0.05), &DumpConfig::default());
     let cfg = DeviceConfig::v100();
-    let mut engine = GpuLocalAssembler::new(
-        cfg.clone(),
-        LocalAssemblyParams::for_tests(),
-        KernelVersion::V1,
-    );
+    let mut engine =
+        GpuLocalAssembler::new(cfg.clone(), LocalAssemblyParams::for_tests(), KernelVersion::V1);
     let (_, stats) = engine.extend_tasks(&dump.tasks);
     let report = stats.roofline("local-assembly extension kernel v1", &cfg);
     println!("=== Figure 8: instruction roofline, kernel v1 ===\n");
     println!("{}", report.render(&cfg));
-    println!(
-        "paper: v1 sits low-left of v2 with heavy predication; peak line 489.6 warp GIPS."
-    );
+    println!("paper: v1 sits low-left of v2 with heavy predication; peak line 489.6 warp GIPS.");
 }

@@ -15,11 +15,8 @@ fn main() {
 
     let mut reports = Vec::new();
     for (name, version) in [("v1", KernelVersion::V1), ("v2", KernelVersion::V2)] {
-        let mut engine = GpuLocalAssembler::new(
-            cfg.clone(),
-            LocalAssemblyParams::for_tests(),
-            version,
-        );
+        let mut engine =
+            GpuLocalAssembler::new(cfg.clone(), LocalAssemblyParams::for_tests(), version);
         let (_, stats) = engine.extend_tasks(&dump.tasks);
         reports.push((name, stats.roofline(name, &cfg)));
     }
@@ -30,10 +27,18 @@ fn main() {
     }
     let (v1, v2) = (&reports[0].1, &reports[1].1);
     println!("v2 / v1 ratios:");
-    println!("  warp GIPS:             {:.2}x (paper: higher for v2, peak 14.4 GIPS)", v2.gips / v1.gips);
-    println!("  instruction intensity: {:.2}x (paper: v2 moves right)", v2.intensity_l1 / v1.intensity_l1);
-    println!("  global ld/st insts:    {:.2}x (paper: significantly reduced)",
-        v2.warp_insts as f64 / v1.warp_insts as f64);
+    println!(
+        "  warp GIPS:             {:.2}x (paper: higher for v2, peak 14.4 GIPS)",
+        v2.gips / v1.gips
+    );
+    println!(
+        "  instruction intensity: {:.2}x (paper: v2 moves right)",
+        v2.intensity_l1 / v1.intensity_l1
+    );
+    println!(
+        "  global ld/st insts:    {:.2}x (paper: significantly reduced)",
+        v2.warp_insts as f64 / v1.warp_insts as f64
+    );
     assert!(v2.gips > v1.gips, "v2 must beat v1 on GIPS");
     assert!(v2.intensity_l1 > v1.intensity_l1, "v2 must beat v1 on intensity");
 }

@@ -13,11 +13,8 @@ use locassm::LocalAssemblyParams;
 use mhm::report::render_table;
 
 fn counters_for(version: KernelVersion, dump: &bench::Dump) -> Counters {
-    let mut engine = GpuLocalAssembler::new(
-        DeviceConfig::v100(),
-        LocalAssemblyParams::for_tests(),
-        version,
-    );
+    let mut engine =
+        GpuLocalAssembler::new(DeviceConfig::v100(), LocalAssemblyParams::for_tests(), version);
     let (_, stats) = engine.extend_tasks(&dump.tasks);
     stats.counters
 }

@@ -29,8 +29,8 @@ fn main() {
         engine: EngineChoice::Gpu { device: DeviceConfig::v100(), version: KernelVersion::V2 },
         ..PipelineConfig::default()
     };
-    let cpu = run_pipeline(&pairs, &cpu_cfg);
-    let gpu = run_pipeline(&pairs, &gpu_cfg);
+    let cpu = run_pipeline(&pairs, &cpu_cfg).expect("pipeline runs");
+    let gpu = run_pipeline(&pairs, &gpu_cfg).expect("pipeline runs");
     assert_eq!(cpu.contigs, gpu.contigs, "engines must agree on the assembly");
 
     println!("=== Figure 12 (measured, laptop-scale arcticsynth-like) ===\n");

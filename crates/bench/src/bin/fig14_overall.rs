@@ -24,10 +24,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["nodes", "total CPU-LA (s)", "total GPU-LA (s)", "speedup"],
-            &rows
-        )
+        render_table(&["nodes", "total CPU-LA (s)", "total GPU-LA (s)", "speedup"], &rows)
     );
     println!("paper: ~42% at 64-128 nodes (64-node totals 2128 s -> 1495 s), decaying");
     println!("with node count; the 512->1024 cliff in the paper is run-to-run variance");

@@ -24,10 +24,7 @@ fn main() {
             format!("{:.1}x / {:.1}x", mat as f64 / 5.0, mat as f64 / KEY_POINTER_BYTES as f64),
         ]);
     }
-    println!(
-        "{}",
-        render_table(&["k", "materialized (B)", "pointer (B)", "savings"], &rows)
-    );
+    println!("{}", render_table(&["k", "materialized (B)", "pointer (B)", "savings"], &rows));
     println!("paper: ~15x at k=77 (5-byte pointer encoding).\n");
 
     // Whole-batch effect: compare slab key storage against what

@@ -18,11 +18,7 @@ fn main() {
     println!("analytic bound (l-k+1)/l:");
     let mut rows = Vec::new();
     for (l, k) in [(300usize, 21usize), (300, 33), (300, 55), (150, 21), (150, 31), (250, 99)] {
-        rows.push(vec![
-            l.to_string(),
-            k.to_string(),
-            format!("{:.4}", load_factor(l, k)),
-        ]);
+        rows.push(vec![l.to_string(), k.to_string(), format!("{:.4}", load_factor(l, k))]);
     }
     println!("{}", render_table(&["read len l", "k", "max load factor"], &rows));
     println!("worst case (l=300, k=21): {:.3}  (paper: ~0.93)\n", load_factor(300, 21));
@@ -32,12 +28,8 @@ fn main() {
     let k = 21usize;
     // The bound depends on the longest read in the set; overlap-merged
     // pairs reach ~2x the raw 150 bp (the paper's l = 300 worst case).
-    let max_l = dump
-        .tasks
-        .iter()
-        .flat_map(|t| t.reads.iter().map(|r| r.len()))
-        .max()
-        .unwrap_or(150);
+    let max_l =
+        dump.tasks.iter().flat_map(|t| t.reads.iter().map(|r| r.len())).max().unwrap_or(150);
     let mut worst = 0.0f64;
     let mut total_slots = 0u64;
     let mut total_filled = 0u64;

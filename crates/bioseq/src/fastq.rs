@@ -24,6 +24,27 @@ pub enum NPolicy {
     Error,
 }
 
+/// How strictly to treat structurally malformed FASTQ records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParseMode {
+    /// Any malformed record aborts the parse.
+    #[default]
+    Strict,
+    /// Skip malformed records — bad header, missing `+`, quality/sequence
+    /// length mismatch, truncation — count them, and resynchronize at the
+    /// next `@` header. I/O errors still abort.
+    Lenient,
+}
+
+/// Per-parse bookkeeping returned by [`parse_fastq_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastqParseStats {
+    /// Records dropped by [`NPolicy::Drop`] (ambiguous bases).
+    pub dropped_ambiguous: usize,
+    /// Structurally malformed records skipped ([`ParseMode::Lenient`]).
+    pub skipped_malformed: usize,
+}
+
 /// FASTQ parse error.
 #[derive(Debug)]
 pub enum ParseError {
@@ -31,7 +52,9 @@ pub enum ParseError {
     /// Malformed record; the message includes the line number.
     Format(String),
     /// An ambiguous base was found and the policy is [`NPolicy::Error`].
-    AmbiguousBase { record: String },
+    AmbiguousBase {
+        record: String,
+    },
 }
 
 impl std::fmt::Display for ParseError {
@@ -54,49 +77,119 @@ impl From<io::Error> for ParseError {
     }
 }
 
-/// Parse all records from a FASTQ stream.
+/// Parse all records from a FASTQ stream (strict mode).
 ///
 /// Returns the parsed reads plus the number of records dropped by the
 /// `NPolicy::Drop` policy.
-pub fn parse_fastq<R: BufRead>(reader: R, policy: NPolicy) -> Result<(Vec<Read>, usize), ParseError> {
+pub fn parse_fastq<R: BufRead>(
+    reader: R,
+    policy: NPolicy,
+) -> Result<(Vec<Read>, usize), ParseError> {
+    let (reads, stats) = parse_fastq_with(reader, policy, ParseMode::Strict)?;
+    Ok((reads, stats.dropped_ambiguous))
+}
+
+/// Parse all records from a FASTQ stream with an explicit [`ParseMode`].
+///
+/// In [`ParseMode::Lenient`], malformed records are skipped (counted in
+/// [`FastqParseStats::skipped_malformed`]) and the parser resynchronizes at
+/// the next `@` header, so one corrupt record never takes a whole lane's
+/// worth of reads with it. [`NPolicy::Error`] violations and I/O errors
+/// abort in either mode.
+pub fn parse_fastq_with<R: BufRead>(
+    reader: R,
+    policy: NPolicy,
+    mode: ParseMode,
+) -> Result<(Vec<Read>, FastqParseStats), ParseError> {
     let mut reads = Vec::new();
-    let mut dropped = 0usize;
+    let mut stats = FastqParseStats::default();
     let mut lines = reader.lines();
     let mut lineno = 0usize;
-    loop {
-        let Some(header) = lines.next() else { break };
-        let header = header?;
-        lineno += 1;
+    // A header found while resynchronizing after a malformed record.
+    let mut pending: Option<String> = None;
+    'records: loop {
+        let header = if let Some(h) = pending.take() {
+            h
+        } else {
+            match lines.next() {
+                None => break,
+                Some(h) => {
+                    lineno += 1;
+                    h?
+                }
+            }
+        };
         if header.is_empty() {
             continue;
         }
+        // One malformed record = one skip: count it, then scan forward to
+        // the next header.
+        let skip_and_resync = |lines: &mut std::io::Lines<R>,
+                               lineno: &mut usize,
+                               stats: &mut FastqParseStats|
+         -> Result<Option<String>, ParseError> {
+            stats.skipped_malformed += 1;
+            for line in lines.by_ref() {
+                *lineno += 1;
+                let line = line?;
+                if line.starts_with('@') {
+                    return Ok(Some(line));
+                }
+            }
+            Ok(None)
+        };
         if !header.starts_with('@') {
-            return Err(ParseError::Format(format!(
-                "line {lineno}: expected '@', got {:?}",
-                header.chars().next()
-            )));
+            match mode {
+                ParseMode::Strict => {
+                    return Err(ParseError::Format(format!(
+                        "line {lineno}: expected '@', got {:?}",
+                        header.chars().next()
+                    )))
+                }
+                ParseMode::Lenient => {
+                    match skip_and_resync(&mut lines, &mut lineno, &mut stats)? {
+                        Some(h) => pending = Some(h),
+                        None => break,
+                    }
+                    continue 'records;
+                }
+            }
         }
         let id = header[1..].split_whitespace().next().unwrap_or("").to_string();
-        let seq_line = next_line(&mut lines, &mut lineno)?;
-        let plus = next_line(&mut lines, &mut lineno)?;
-        if !plus.starts_with('+') {
-            return Err(ParseError::Format(format!("line {lineno}: expected '+'")));
-        }
-        let qual_line = next_line(&mut lines, &mut lineno)?;
-        if qual_line.len() != seq_line.len() {
-            return Err(ParseError::Format(format!(
-                "line {lineno}: quality length {} != sequence length {}",
-                qual_line.len(),
-                seq_line.len()
-            )));
-        }
-        match record_to_read(&id, seq_line.as_bytes(), qual_line.as_bytes(), policy) {
-            Ok(Some(r)) => reads.push(r),
-            Ok(None) => dropped += 1,
-            Err(e) => return Err(e),
+        let body = (|| -> Result<(String, String), ParseError> {
+            let seq_line = next_line(&mut lines, &mut lineno)?;
+            let plus = next_line(&mut lines, &mut lineno)?;
+            if !plus.starts_with('+') {
+                return Err(ParseError::Format(format!("line {lineno}: expected '+'")));
+            }
+            let qual_line = next_line(&mut lines, &mut lineno)?;
+            if qual_line.len() != seq_line.len() {
+                return Err(ParseError::Format(format!(
+                    "line {lineno}: quality length {} != sequence length {}",
+                    qual_line.len(),
+                    seq_line.len()
+                )));
+            }
+            Ok((seq_line, qual_line))
+        })();
+        match body {
+            Ok((seq_line, qual_line)) => {
+                match record_to_read(&id, seq_line.as_bytes(), qual_line.as_bytes(), policy)? {
+                    Some(r) => reads.push(r),
+                    None => stats.dropped_ambiguous += 1,
+                }
+            }
+            Err(e @ ParseError::Io(_)) => return Err(e),
+            Err(e) => match mode {
+                ParseMode::Strict => return Err(e),
+                ParseMode::Lenient => match skip_and_resync(&mut lines, &mut lineno, &mut stats)? {
+                    Some(h) => pending = Some(h),
+                    None => break,
+                },
+            },
         }
     }
-    Ok((reads, dropped))
+    Ok((reads, stats))
 }
 
 fn next_line(
@@ -130,9 +223,7 @@ fn record_to_read(
                     codes.push(0);
                     quals.push(0);
                 }
-                NPolicy::Error => {
-                    return Err(ParseError::AmbiguousBase { record: id.to_string() })
-                }
+                NPolicy::Error => return Err(ParseError::AmbiguousBase { record: id.to_string() }),
             },
         }
     }
@@ -164,11 +255,7 @@ pub fn pair_up(r1: Vec<Read>, r2: Vec<Read>) -> Result<Vec<PairedRead>, ParseErr
             r2.len()
         )));
     }
-    Ok(r1
-        .into_iter()
-        .zip(r2)
-        .map(|(a, b)| PairedRead::new(a, b))
-        .collect())
+    Ok(r1.into_iter().zip(r2).map(|(a, b)| PairedRead::new(a, b)).collect())
 }
 
 /// Write sequences in FASTA format with `width`-column wrapping.
@@ -199,7 +286,11 @@ pub fn parse_fasta<R: BufRead>(
     let mut dropped = 0usize;
     let mut cur_id: Option<String> = None;
     let mut cur_seq = String::new();
-    let flush = |id: Option<String>, seq: &str, out: &mut Vec<(String, DnaSeq)>, dropped: &mut usize| -> Result<(), ParseError> {
+    let flush = |id: Option<String>,
+                 seq: &str,
+                 out: &mut Vec<(String, DnaSeq)>,
+                 dropped: &mut usize|
+     -> Result<(), ParseError> {
         let Some(id) = id else { return Ok(()) };
         match DnaSeq::from_ascii(seq.as_bytes()) {
             Some(s) => out.push((id, s)),
@@ -287,10 +378,7 @@ mod tests {
     #[test]
     fn malformed_missing_plus() {
         let s = "@r1\nACGT\nIIII\nACGT\n";
-        assert!(matches!(
-            parse_fastq(Cursor::new(s), NPolicy::Drop),
-            Err(ParseError::Format(_))
-        ));
+        assert!(matches!(parse_fastq(Cursor::new(s), NPolicy::Drop), Err(ParseError::Format(_))));
     }
 
     #[test]
@@ -303,6 +391,50 @@ mod tests {
     fn truncated_record() {
         let s = "@r1\nACGT\n";
         assert!(parse_fastq(Cursor::new(s), NPolicy::Drop).is_err());
+    }
+
+    #[test]
+    fn lenient_skips_malformed_and_resyncs() {
+        // r1 ok, r2 missing '+', r3 ok, r4 qual-length mismatch, r5 ok.
+        let s = "@r1\nACGT\n+\nIIII\n\
+                 @r2\nACGT\nIIII\n\
+                 @r3\nTTTT\n+\nIIII\n\
+                 @r4\nACGT\n+\nII\n\
+                 @r5\nGGGG\n+\nIIII\n";
+        let (reads, stats) =
+            parse_fastq_with(Cursor::new(s), NPolicy::Drop, ParseMode::Lenient).unwrap();
+        let ids: Vec<&str> = reads.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, vec!["r1", "r3", "r5"]);
+        assert_eq!(stats.skipped_malformed, 2);
+        assert_eq!(stats.dropped_ambiguous, 0);
+    }
+
+    #[test]
+    fn lenient_counts_truncated_tail() {
+        let s = "@r1\nACGT\n+\nIIII\n@r2\nACGT\n";
+        let (reads, stats) =
+            parse_fastq_with(Cursor::new(s), NPolicy::Drop, ParseMode::Lenient).unwrap();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(stats.skipped_malformed, 1);
+    }
+
+    #[test]
+    fn lenient_still_counts_ambiguous_drops() {
+        let s = "@r1\nACNT\n+\nIIII\n@r2\nACGT\n+\nIIII\n";
+        let (reads, stats) =
+            parse_fastq_with(Cursor::new(s), NPolicy::Drop, ParseMode::Lenient).unwrap();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(stats.dropped_ambiguous, 1);
+        assert_eq!(stats.skipped_malformed, 0);
+    }
+
+    #[test]
+    fn strict_mode_matches_parse_fastq() {
+        let s = "@r1\nACGT\nIIII\nACGT\n";
+        assert!(matches!(
+            parse_fastq_with(Cursor::new(s), NPolicy::Drop, ParseMode::Strict),
+            Err(ParseError::Format(_))
+        ));
     }
 
     #[test]

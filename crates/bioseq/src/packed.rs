@@ -41,10 +41,7 @@ impl PackedSeq {
 
     /// Empty sequence with capacity for `cap` bases.
     pub fn with_capacity(cap: usize) -> PackedSeq {
-        PackedSeq {
-            words: Vec::with_capacity(cap.div_ceil(BASES_PER_WORD)),
-            len: 0,
-        }
+        PackedSeq { words: Vec::with_capacity(cap.div_ceil(BASES_PER_WORD)), len: 0 }
     }
 
     /// Length in bases.

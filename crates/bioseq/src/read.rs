@@ -49,11 +49,7 @@ impl Read {
     pub fn revcomp(&self) -> Read {
         let mut quals = self.quals.clone();
         quals.reverse();
-        Read {
-            id: self.id.clone(),
-            seq: self.seq.revcomp(),
-            quals,
-        }
+        Read { id: self.id.clone(), seq: self.seq.revcomp(), quals }
     }
 
     /// Mean Phred quality (0 for an empty read).

@@ -25,9 +25,7 @@ impl DnaSeq {
 
     /// Empty sequence with reserved capacity.
     pub fn with_capacity(cap: usize) -> DnaSeq {
-        DnaSeq {
-            codes: Vec::with_capacity(cap),
-        }
+        DnaSeq { codes: Vec::with_capacity(cap) }
     }
 
     /// Parse from ASCII (`ACGT`, case-insensitive). Returns `None` if any
@@ -100,9 +98,7 @@ impl DnaSeq {
 
     /// Sub-sequence `[start, start+len)` as a new `DnaSeq`.
     pub fn subseq(&self, start: usize, len: usize) -> DnaSeq {
-        DnaSeq {
-            codes: self.codes[start..start + len].to_vec(),
-        }
+        DnaSeq { codes: self.codes[start..start + len].to_vec() }
     }
 
     /// Iterator over bases.
@@ -112,9 +108,7 @@ impl DnaSeq {
 
     /// Reverse complement as a new sequence.
     pub fn revcomp(&self) -> DnaSeq {
-        DnaSeq {
-            codes: self.codes.iter().rev().map(|&c| c ^ 3).collect(),
-        }
+        DnaSeq { codes: self.codes.iter().rev().map(|&c| c ^ 3).collect() }
     }
 
     /// Reverse-complement in place.
@@ -140,9 +134,7 @@ impl DnaSeq {
         if other.is_empty() {
             return true;
         }
-        self.codes
-            .windows(other.len())
-            .any(|w| w == other.codes.as_slice())
+        self.codes.windows(other.len()).any(|w| w == other.codes.as_slice())
     }
 
     /// Hamming distance to another sequence of equal length.
@@ -150,11 +142,7 @@ impl DnaSeq {
     /// Panics if the lengths differ.
     pub fn hamming(&self, other: &DnaSeq) -> usize {
         assert_eq!(self.len(), other.len(), "hamming requires equal lengths");
-        self.codes
-            .iter()
-            .zip(&other.codes)
-            .filter(|(a, b)| a != b)
-            .count()
+        self.codes.iter().zip(&other.codes).filter(|(a, b)| a != b).count()
     }
 }
 
@@ -169,9 +157,7 @@ impl std::fmt::Display for DnaSeq {
 
 impl FromIterator<Base> for DnaSeq {
     fn from_iter<T: IntoIterator<Item = Base>>(iter: T) -> DnaSeq {
-        DnaSeq {
-            codes: iter.into_iter().map(|b| b.code()).collect(),
-        }
+        DnaSeq { codes: iter.into_iter().map(|b| b.code()).collect() }
     }
 }
 

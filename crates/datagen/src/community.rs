@@ -139,7 +139,8 @@ mod tests {
 
     #[test]
     fn skewed_abundances_are_skewed() {
-        let cfg = CommunityConfig { n_species: 40, abundance_sigma: 2.0, seed: 7, ..Default::default() };
+        let cfg =
+            CommunityConfig { n_species: 40, abundance_sigma: 2.0, seed: 7, ..Default::default() };
         let c = generate_community(&cfg);
         let max = c.abundances.iter().cloned().fold(0.0, f64::max);
         let min = c.abundances.iter().cloned().fold(1.0, f64::min);

@@ -68,8 +68,8 @@ pub fn simulate_reads(community: &Community, cfg: &ReadSimConfig) -> Vec<PairedR
         let x: f64 = rng.gen_range(0.0..acc);
         let gi = cum.partition_point(|&c| c < x).min(community.genomes.len() - 1);
         let genome = &community.genomes[gi].seq;
-        let insert = (insert_dist.sample(&mut rng).round() as usize)
-            .clamp(cfg.read_len, usize::MAX);
+        let insert =
+            (insert_dist.sample(&mut rng).round() as usize).clamp(cfg.read_len, usize::MAX);
         if genome.len() < insert {
             continue; // genome too short for this fragment; resample
         }
@@ -138,7 +138,13 @@ mod tests {
     }
 
     fn sim_cfg(n: usize) -> ReadSimConfig {
-        ReadSimConfig { n_pairs: n, read_len: 100, insert_mean: 250.0, insert_sd: 20.0, ..Default::default() }
+        ReadSimConfig {
+            n_pairs: n,
+            read_len: 100,
+            insert_mean: 250.0,
+            insert_sd: 20.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -239,8 +245,20 @@ mod tests {
         // With all-low-quality reads, mismatches versus the template must
         // be much more frequent.
         let c = small_community(7);
-        let hi = simulate_reads(&c, &ReadSimConfig { lo_frac: 0.0, n_pairs: 50, read_len: 100, ..Default::default() });
-        let lo = simulate_reads(&c, &ReadSimConfig { lo_frac: 1.0, n_pairs: 50, read_len: 100, seed: 1, ..Default::default() });
+        let hi = simulate_reads(
+            &c,
+            &ReadSimConfig { lo_frac: 0.0, n_pairs: 50, read_len: 100, ..Default::default() },
+        );
+        let lo = simulate_reads(
+            &c,
+            &ReadSimConfig {
+                lo_frac: 1.0,
+                n_pairs: 50,
+                read_len: 100,
+                seed: 1,
+                ..Default::default()
+            },
+        );
         let err_frac = |pairs: &[PairedRead], comm: &Community| {
             let mut total = 0usize;
             let mut errs = 0usize;

@@ -78,10 +78,7 @@ impl VertexCounts {
 
     /// Number of viable bases on `side`.
     pub fn viable_bases(&self, side: Side, min_votes: u16) -> usize {
-        Base::ALL
-            .iter()
-            .filter(|&&b| self.is_viable(side, b, min_votes))
-            .count()
+        Base::ALL.iter().filter(|&&b| self.is_viable(side, b, min_votes)).count()
     }
 }
 
@@ -156,11 +153,7 @@ pub fn accumulate_read(map: &mut KmerCountMap, read: &Read, k: usize) {
     }
     for (pos, km) in KmerIter::new(seq, k) {
         let left = if pos > 0 { Some(seq.base(pos - 1)) } else { None };
-        let right = if pos + k < seq.len() {
-            Some(seq.base(pos + k))
-        } else {
-            None
-        };
+        let right = if pos + k < seq.len() { Some(seq.base(pos + k)) } else { None };
         let canon = km.canonical();
         let (l, r) = if canon == km {
             (left, right)

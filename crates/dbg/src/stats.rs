@@ -39,9 +39,7 @@ impl GraphStats {
 /// Count how many bases on `side` are viable under the same rule the
 /// traversal uses.
 fn viable_count(graph: &DbgGraph, km: &kmer::Kmer, side: Side, min_votes: u16) -> usize {
-    graph
-        .vertex(km)
-        .map_or(0, |v| v.viable_bases(side, min_votes))
+    graph.vertex(km).map_or(0, |v| v.viable_bases(side, min_votes))
 }
 
 /// Compute the census at the given vote threshold.
@@ -75,9 +73,7 @@ mod tests {
 
     fn random_seq(len: usize, sd: u64) -> DnaSeq {
         let mut rng = StdRng::seed_from_u64(sd);
-        (0..len)
-            .map(|_| bioseq::Base::from_code(rng.gen_range(0..4)))
-            .collect()
+        (0..len).map(|_| bioseq::Base::from_code(rng.gen_range(0..4))).collect()
     }
 
     fn graph_of(genomes: &[DnaSeq], k: usize) -> DbgGraph {

@@ -50,16 +50,13 @@ pub fn generate_contigs(graph: &DbgGraph, min_votes: u16) -> Vec<Contig> {
 
         // Walk right from the seed, then right from the seed's rc view
         // (= left of the seed), and stitch.
-        let (right_bases, mut member_counts) =
-            walk(graph, start, min_votes, &mut visited);
+        let (right_bases, mut member_counts) = walk(graph, start, min_votes, &mut visited);
         let rc_start = Oriented { canon: seed, fwd: false };
         let (left_bases_rc, more_counts) = walk(graph, rc_start, min_votes, &mut visited);
         member_counts.extend(more_counts);
 
         // Contig = rc(left walk) + seed + right walk.
-        let mut seq = DnaSeq::with_capacity(
-            left_bases_rc.len() + graph.k() + right_bases.len(),
-        );
+        let mut seq = DnaSeq::with_capacity(left_bases_rc.len() + graph.k() + right_bases.len());
         let left_part: DnaSeq = left_bases_rc.iter().copied().collect();
         seq.extend_from(&left_part.revcomp());
         seq.extend_from(&seed.to_seq());
@@ -69,8 +66,8 @@ pub fn generate_contigs(graph: &DbgGraph, min_votes: u16) -> Vec<Contig> {
 
         let seed_count = graph.vertex(&seed).map_or(0, |v| v.count);
         member_counts.push(seed_count);
-        let depth = member_counts.iter().map(|&c| f64::from(c)).sum::<f64>()
-            / member_counts.len() as f64;
+        let depth =
+            member_counts.iter().map(|&c| f64::from(c)).sum::<f64>() / member_counts.len() as f64;
 
         contigs.push(Contig { id: next_id, seq, depth });
         next_id += 1;
@@ -89,10 +86,7 @@ fn walk(
     let mut bases = Vec::new();
     let mut counts = Vec::new();
     let mut cur = start;
-    loop {
-        let Some(ext) = graph.unique_right_ext(&cur, min_votes) else {
-            break;
-        };
+    while let Some(ext) = graph.unique_right_ext(&cur, min_votes) {
         let Some(next) = graph.step_right(&cur, ext) else {
             break;
         };
@@ -123,9 +117,7 @@ mod tests {
 
     fn random_genome(len: usize, seed: u64) -> DnaSeq {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..len)
-            .map(|_| bioseq::Base::from_code(rng.gen_range(0..4)))
-            .collect()
+        (0..len).map(|_| bioseq::Base::from_code(rng.gen_range(0..4))).collect()
     }
 
     /// Error-free reads tiling `genome` every `stride` bases.

@@ -98,10 +98,7 @@ pub fn warp_inclusive_scan(ctx: &mut WarpCtx, vals: &Lanes<u64>, op: ReduceOp) -
 /// one atomic, and every lane receives the value the plain per-lane
 /// `atomic_add` would have returned. Cuts atomic transactions from
 /// #lanes to #distinct-addresses.
-pub fn warp_aggregated_add(
-    ctx: &mut WarpCtx,
-    ops: &Lanes<Option<(u64, u64)>>,
-) -> Lanes<u64> {
+pub fn warp_aggregated_add(ctx: &mut WarpCtx, ops: &Lanes<Option<(u64, u64)>>) -> Lanes<u64> {
     // Group lanes by target address.
     let addr_keys = ctx.lanes_from(|l| ops[l].map_or(u64::MAX, |(a, _)| a));
     let groups = ctx.match_any(&addr_keys);
@@ -165,9 +162,11 @@ mod tests {
         let mut dev = Device::new(DeviceConfig::tiny());
         dev.alloc(1024).unwrap();
         let mut f = Some(f);
-        let stats = dev.launch(1, 0, |ctx| {
-            (f.take().expect("single warp"))(ctx);
-        });
+        let stats = dev
+            .launch(1, 0, |ctx| {
+                (f.take().expect("single warp"))(ctx);
+            })
+            .expect("healthy device");
         stats.counters
     }
 
@@ -256,14 +255,17 @@ mod tests {
         dev1.launch(1, 0, |ctx| {
             let ops = ctx.lanes_from(|l| Some((b1.addr + (l % 3) as u64, l as u64 + 1)));
             plain_out = ctx.atomic_add(&ops);
-        });
+        })
+        .expect("healthy device");
         let mut dev2 = Device::new(DeviceConfig::tiny());
         let b2 = dev2.alloc(8).unwrap();
         let mut agg_out = [0u64; WARP];
-        let s2 = dev2.launch(1, 0, |ctx| {
-            let ops = ctx.lanes_from(|l| Some((b2.addr + (l % 3) as u64, l as u64 + 1)));
-            agg_out = warp_aggregated_add(ctx, &ops);
-        });
+        let s2 = dev2
+            .launch(1, 0, |ctx| {
+                let ops = ctx.lanes_from(|l| Some((b2.addr + (l % 3) as u64, l as u64 + 1)));
+                agg_out = warp_aggregated_add(ctx, &ops);
+            })
+            .expect("healthy device");
         assert_eq!(plain_out, agg_out);
         assert_eq!(dev1.d2h(b1, 0, 3), dev2.d2h(b2, 0, 3));
         // And the aggregated version generated at most 3 atomic sectors.
@@ -275,9 +277,10 @@ mod tests {
         let mut dev = Device::new(DeviceConfig::tiny());
         let b = dev.alloc(4).unwrap();
         dev.launch(1, 0, |ctx| {
-            let ops = ctx.lanes_from(|l| (l % 2 == 0).then(|| (b.addr, 1u64)));
+            let ops = ctx.lanes_from(|l| (l % 2 == 0).then_some((b.addr, 1u64)));
             warp_aggregated_add(ctx, &ops);
-        });
+        })
+        .expect("healthy device");
         assert_eq!(dev.d2h_word(b, 0), 16);
     }
 }

@@ -1,5 +1,6 @@
 //! Device configuration: V100-flavoured defaults, everything tunable.
 
+use crate::fault::FaultPlan;
 use serde::{Deserialize, Serialize};
 
 /// Hardware parameters of the simulated device.
@@ -31,6 +32,8 @@ pub struct DeviceConfig {
     pub launch_overhead_us: f64,
     /// L1/shared aggregate bandwidth in transactions per cycle per SM.
     pub l1_tx_per_cycle_per_sm: f64,
+    /// Deterministic fault-injection schedule (empty = healthy device).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for DeviceConfig {
@@ -54,6 +57,7 @@ impl DeviceConfig {
             global_mem_bytes: 16 * (1 << 30),
             launch_overhead_us: 10.0,
             l1_tx_per_cycle_per_sm: 4.0,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -71,7 +75,14 @@ impl DeviceConfig {
             global_mem_bytes: 1 << 24,
             launch_overhead_us: 1.0,
             l1_tx_per_cycle_per_sm: 2.0,
+            fault_plan: FaultPlan::none(),
         }
+    }
+
+    /// Attach a fault-injection schedule (builder style).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> DeviceConfig {
+        self.fault_plan = plan;
+        self
     }
 
     /// Theoretical peak warp instructions per second (the roofline's flat

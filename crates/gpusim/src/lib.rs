@@ -24,16 +24,25 @@
 //! × 1.53 GHz ⇒ the paper's 489.6 warp-GIPS peak), from which
 //! [`roofline::RooflineReport`] computes warp GIPS and instruction intensity.
 //!
+//! Device *failures* can be injected deterministically via [`fault::FaultPlan`]
+//! (denied allocations, kernel hangs, detected memory corruption) to exercise
+//! the recovery paths of the layers above.
+//!
 //! What this deliberately does **not** model: instruction pipelining details,
-//! L2 behaviour, ECC, or clock boosting. The paper's conclusions are about
+//! L2 behaviour, ECC scrubbing, or clock boosting. The paper's conclusions are about
 //! algorithmic structure (divergence, coalescing, atomics, predication), and
 //! those are exactly the quantities this simulator measures from real
 //! execution of the real data structures.
+
+// Lane-indexed `for l in 0..WARP` loops mirror the CUDA lockstep model the
+// simulator reproduces; iterator rewrites would obscure the lane index.
+#![allow(clippy::needless_range_loop)]
 
 pub mod collectives;
 pub mod config;
 pub mod counters;
 pub mod device;
+pub mod fault;
 pub mod mem;
 pub mod roofline;
 pub mod timing;
@@ -43,6 +52,7 @@ pub use collectives::{warp_aggregated_add, warp_inclusive_scan, warp_reduce, Red
 pub use config::DeviceConfig;
 pub use counters::{Counters, InstClass};
 pub use device::{Device, LaunchStats};
-pub use mem::Buf;
+pub use fault::{Fault, FaultPlan, LaunchError};
+pub use mem::{Buf, DeviceOom};
 pub use roofline::RooflineReport;
 pub use warp::{Lanes, WarpCtx, WARP};

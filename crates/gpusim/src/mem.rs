@@ -23,7 +23,8 @@ impl Buf {
 
     /// Sub-range `[off, off+len)` of this buffer.
     pub fn slice(&self, off: u64, len: u64) -> Buf {
-        assert!(off + len <= self.len, "slice out of bounds");
+        let end = off.checked_add(len);
+        assert!(end.is_some_and(|e| e <= self.len), "slice out of bounds");
         Buf { addr: self.addr + off, len }
     }
 
@@ -50,11 +51,7 @@ pub struct DeviceOom {
 
 impl std::fmt::Display for DeviceOom {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "device OOM: requested {} words, {} free",
-            self.requested_words, self.free_words
-        )
+        write!(f, "device OOM: requested {} words, {} free", self.requested_words, self.free_words)
     }
 }
 
@@ -177,5 +174,13 @@ mod tests {
     fn slice_past_end_panics() {
         let b = Buf { addr: 0, len: 10 };
         b.slice(5, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_overflowing_offset_panics() {
+        // off + len wraps u64; must be rejected, not wrapped into bounds.
+        let b = Buf { addr: 0, len: 10 };
+        b.slice(u64::MAX, 2);
     }
 }

@@ -56,11 +56,7 @@ impl RooflineReport {
         let insts = c.warp_insts();
         let l1 = c.l1_transactions();
         let global = c.global_transactions();
-        let gips = if seconds > 0.0 {
-            insts as f64 / seconds / 1e9
-        } else {
-            0.0
-        };
+        let gips = if seconds > 0.0 { insts as f64 / seconds / 1e9 } else { 0.0 };
         let active = c.active_lane_slots as f64;
         let total_slots = (c.active_lane_slots + c.predicated_lane_slots) as f64;
         // If every slot were useful the same lane-work would need fewer warp
@@ -87,8 +83,7 @@ impl RooflineReport {
     /// GIPS ceiling at this report's intensity imposed by L1 transaction
     /// bandwidth (the diagonal roof): `intensity × peak GTXN/s`.
     pub fn l1_roof_gips(&self, cfg: &DeviceConfig) -> f64 {
-        let peak_gtxn =
-            f64::from(cfg.sms) * cfg.l1_tx_per_cycle_per_sm * cfg.clock_ghz; // GTXN/s
+        let peak_gtxn = f64::from(cfg.sms) * cfg.l1_tx_per_cycle_per_sm * cfg.clock_ghz; // GTXN/s
         self.intensity_l1 * peak_gtxn
     }
 

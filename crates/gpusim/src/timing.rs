@@ -95,10 +95,7 @@ pub fn estimate(cfg: &DeviceConfig, c: &Counters, warps: usize) -> TimingEstimat
     let waves = (warps_per_sm / f64::from(cfg.max_resident_warps_per_sm)).ceil();
     let latency_cycles = chain_per_warp * f64::from(cfg.dram_latency_cycles) * waves;
 
-    let kernel_cycles = issue_cycles
-        .max(bandwidth_cycles)
-        .max(latency_cycles)
-        .max(l1_cycles);
+    let kernel_cycles = issue_cycles.max(bandwidth_cycles).max(latency_cycles).max(l1_cycles);
     let kernel_seconds = kernel_cycles / (cfg.clock_ghz * 1e9);
 
     TimingEstimate {

@@ -389,7 +389,7 @@ impl<'a> WarpCtx<'a> {
 
 /// Transactions for a local access: group by offset, each group of `n`
 /// contiguous lanes needs `ceil(n / lanes_per_sector)` sectors.
-fn local_transactions(offsets: &mut Vec<u64>, sector_words: u64) -> u64 {
+fn local_transactions(offsets: &mut [u64], sector_words: u64) -> u64 {
     if offsets.is_empty() {
         return 0;
     }

@@ -27,7 +27,7 @@ impl Kmer {
     ///
     /// Panics if the window is out of bounds or `k` is 0 or > [`MAX_K`].
     pub fn from_seq(seq: &DnaSeq, start: usize, k: usize) -> Kmer {
-        assert!(k >= 1 && k <= MAX_K, "k={k} out of range");
+        assert!((1..=MAX_K).contains(&k), "k={k} out of range");
         assert!(start + k <= seq.len(), "k-mer window out of bounds");
         let mut words = [0u64; KMER_WORDS];
         for j in 0..k {
@@ -39,7 +39,7 @@ impl Kmer {
     /// Construct from pre-packed words (LSB-first 2-bit codes). High bits
     /// beyond `2k` are cleared.
     pub fn from_words(mut words_in: [u64; KMER_WORDS], k: usize) -> Kmer {
-        assert!(k >= 1 && k <= MAX_K, "k={k} out of range");
+        assert!((1..=MAX_K).contains(&k), "k={k} out of range");
         mask_high(&mut words_in, k);
         Kmer { words: words_in, k: k as u16 }
     }
@@ -48,7 +48,7 @@ impl Kmer {
     /// device memory): bases `[start, start+k)` where base `i` of the slice
     /// lives at word `i/32`, bits `2(i%32)`.
     pub fn from_packed_words(words: &[u64], start: usize, k: usize) -> Kmer {
-        assert!(k >= 1 && k <= MAX_K, "k={k} out of range");
+        assert!((1..=MAX_K).contains(&k), "k={k} out of range");
         let mut out = [0u64; KMER_WORDS];
         for j in 0..k {
             let i = start + j;
@@ -96,12 +96,12 @@ impl Kmer {
         let mut words = [0u64; KMER_WORDS];
         // Shift the whole packed value right by one base (2 bits),
         // propagating across word boundaries.
-        for w in 0..KMER_WORDS {
+        for (w, word) in words.iter_mut().enumerate() {
             let mut v = self.words[w] >> 2;
             if w + 1 < KMER_WORDS {
                 v |= (self.words[w + 1] & 3) << 62;
             }
-            words[w] = v;
+            *word = v;
         }
         // Insert the new base at position k-1.
         let j = k - 1;
@@ -209,7 +209,7 @@ pub struct KmerIter<'a> {
 impl<'a> KmerIter<'a> {
     /// K-mers of `seq`; yields nothing if `seq.len() < k`.
     pub fn new(seq: &'a DnaSeq, k: usize) -> KmerIter<'a> {
-        assert!(k >= 1 && k <= MAX_K, "k={k} out of range");
+        assert!((1..=MAX_K).contains(&k), "k={k} out of range");
         KmerIter { seq, k, pos: 0, cur: None }
     }
 }

@@ -54,11 +54,7 @@ impl Spectrum {
     /// Total k-mer instances represented (Σ m·count\[m\], saturated top
     /// bucket counted at its index).
     pub fn total_instances(&self) -> u64 {
-        self.counts
-            .iter()
-            .enumerate()
-            .map(|(m, &c)| m as u64 * c)
-            .sum()
+        self.counts.iter().enumerate().map(|(m, &c)| m as u64 * c).sum()
     }
 
     /// The first local minimum after multiplicity 1 — the error/genuine
@@ -81,20 +77,13 @@ impl Spectrum {
     pub fn coverage_peak(&self) -> Option<u32> {
         let start = self.error_cutoff().unwrap_or(1) as usize + 1;
         let n = self.counts.len();
-        (start..n)
-            .max_by_key(|&m| self.at(m))
-            .filter(|&m| self.at(m) > 0)
-            .map(|m| m as u32)
+        (start..n).max_by_key(|&m| self.at(m)).filter(|&m| self.at(m) > 0).map(|m| m as u32)
     }
 
     /// Histogram rows `(multiplicity, count)` for display, skipping empty
     /// tail buckets.
     pub fn rows(&self) -> Vec<(usize, u64)> {
-        let last = self
-            .counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0);
+        let last = self.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
         (1..=last).map(|m| (m, self.counts[m])).collect()
     }
 }

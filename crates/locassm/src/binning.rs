@@ -105,10 +105,8 @@ mod tests {
 
     #[test]
     fn bin_tasks_partitions_all() {
-        let tasks: Vec<ExtTask> = [0, 5, 0, 12, 9, 100, 0]
-            .iter()
-            .map(|&n| task_with_reads(n))
-            .collect();
+        let tasks: Vec<ExtTask> =
+            [0, 5, 0, 12, 9, 100, 0].iter().map(|&n| task_with_reads(n)).collect();
         let stats = bin_tasks(&tasks);
         assert_eq!(stats.zero, vec![0, 2, 6]);
         assert_eq!(stats.small, vec![1, 4]);

@@ -3,7 +3,7 @@
 //! node when using the CPU local-assembly module").
 
 use crate::params::{KShift, LocalAssemblyParams, WalkState};
-use crate::task::{ExtResult, ExtTask};
+use crate::task::{ExtResult, ExtTask, TaskOutcome};
 use bioseq::{DnaSeq, Read};
 use kmer::{ExtCounts, ExtVerdict, Kmer, KmerIter};
 use rayon::prelude::*;
@@ -24,10 +24,7 @@ pub fn build_ext_table(reads: &[Read], k: usize) -> HashMap<Kmer, ExtCounts> {
             if pos + k >= read.len() {
                 break; // final k-mer has no following base
             }
-            table
-                .entry(km)
-                .or_default()
-                .add_vote(read.seq.base(pos + k), read.quals[pos + k]);
+            table.entry(km).or_default().add_vote(read.seq.base(pos + k), read.quals[pos + k]);
         }
     }
     table
@@ -69,9 +66,7 @@ pub fn mer_walk(
                 appended.push(b);
                 cur = cur.shift_right(b);
             }
-            ExtVerdict::DeadEnd => {
-                return WalkResult { appended, state: WalkState::DeadEnd }
-            }
+            ExtVerdict::DeadEnd => return WalkResult { appended, state: WalkState::DeadEnd },
             ExtVerdict::Fork => return WalkResult { appended, state: WalkState::Fork },
         }
     }
@@ -94,9 +89,7 @@ pub fn extend_end_cpu(task: &ExtTask, params: &LocalAssemblyParams) -> ExtResult
     loop {
         let k = params.k_list[ks.k_idx()];
         iterations += 1;
-        let budget = params
-            .max_total_extension
-            .saturating_sub(work.len() - orig_len);
+        let budget = params.max_total_extension.saturating_sub(work.len() - orig_len);
         let walk = if budget == 0 || work.len() < k {
             // Nothing can be appended at this k: a dead end for the
             // controller.
@@ -111,18 +104,34 @@ pub fn extend_end_cpu(task: &ExtTask, params: &LocalAssemblyParams) -> ExtResult
             break;
         }
     }
-    ExtResult {
-        appended: work.subseq(orig_len, work.len() - orig_len),
-        final_state,
-        iterations,
-    }
+    ExtResult { appended: work.subseq(orig_len, work.len() - orig_len), final_state, iterations }
 }
 
 /// Extend every task in parallel (the per-node CPU engine).
 pub fn extend_all_cpu(tasks: &[ExtTask], params: &LocalAssemblyParams) -> Vec<ExtResult> {
+    tasks.par_iter().map(|t| extend_end_cpu(t, params)).collect()
+}
+
+/// Extend every task in parallel with per-task panic isolation: a task
+/// whose extension panics becomes [`TaskOutcome::Failed`] instead of
+/// aborting the whole bin.
+pub fn extend_all_cpu_isolated(
+    tasks: &[ExtTask],
+    params: &LocalAssemblyParams,
+) -> Vec<TaskOutcome> {
     tasks
         .par_iter()
-        .map(|t| extend_end_cpu(t, params))
+        .map(|t| {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                extend_end_cpu(t, params)
+            })) {
+                Ok(r) => TaskOutcome::Done(r),
+                Err(payload) => TaskOutcome::Failed {
+                    contig: t.contig,
+                    reason: crate::task::panic_reason(payload),
+                },
+            }
+        })
         .collect()
 }
 
@@ -138,9 +147,7 @@ mod tests {
 
     fn random_seq(len: usize, sd: u64) -> DnaSeq {
         let mut rng = StdRng::seed_from_u64(sd);
-        (0..len)
-            .map(|_| bioseq::Base::from_code(rng.gen_range(0..4)))
-            .collect()
+        (0..len).map(|_| bioseq::Base::from_code(rng.gen_range(0..4))).collect()
     }
 
     /// Reads tiling `genome[from..]`, oriented forward, 2 copies each so
@@ -184,11 +191,7 @@ mod tests {
         let reads = tiling_reads(&genome, 30, 40, 2);
         let table = build_ext_table(&reads, 15);
         let walk = mer_walk(&contig, &table, 15, 100, 2);
-        assert!(
-            walk.appended.len() >= 30,
-            "only appended {}",
-            walk.appended.len()
-        );
+        assert!(walk.appended.len() >= 30, "only appended {}", walk.appended.len());
         // The appended bases must match the genome continuation.
         let expected = genome.subseq(60, walk.appended.len());
         assert_eq!(walk.appended, expected);
@@ -274,12 +277,8 @@ mod tests {
         let genome = random_seq(400, 11);
         let contig = genome.subseq(0, 150);
         let reads = tiling_reads(&genome, 100, 60, 3);
-        let task = ExtTask {
-            contig: 0,
-            end: crate::task::ContigEnd::Right,
-            tail: contig.clone(),
-            reads,
-        };
+        let task =
+            ExtTask { contig: 0, end: crate::task::ContigEnd::Right, tail: contig.clone(), reads };
         let params = LocalAssemblyParams::for_tests();
         let r = extend_end_cpu(&task, &params);
         assert!(r.appended.len() >= 50, "appended {}", r.appended.len());
@@ -295,12 +294,7 @@ mod tests {
         let mut params = LocalAssemblyParams::for_tests();
         params.max_total_extension = 40;
         params.max_walk_len = 100;
-        let task = ExtTask {
-            contig: 0,
-            end: crate::task::ContigEnd::Right,
-            tail: contig,
-            reads,
-        };
+        let task = ExtTask { contig: 0, end: crate::task::ContigEnd::Right, tail: contig, reads };
         let r = extend_end_cpu(&task, &params);
         assert!(r.appended.len() <= 40, "cap violated: {}", r.appended.len());
     }

@@ -14,12 +14,34 @@
 //! exactly as in the paper.
 
 use crate::binning::bin_tasks;
-use crate::cpu::extend_all_cpu;
+use crate::cpu::extend_all_cpu_isolated;
 use crate::gpu::{GpuLocalAssembler, GpuRunStats, KernelVersion};
 use crate::params::LocalAssemblyParams;
-use crate::task::{ExtResult, ExtTask};
+use crate::task::{ExtResult, ExtTask, TaskOutcome};
 use gpusim::DeviceConfig;
 use std::time::Instant;
+
+/// Why an overlapped run could not produce results at all. Per-task
+/// failures do NOT produce this — they degrade to skipped tasks, counted
+/// in [`OverlapOutcome::failed_tasks`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    /// An engine returned the wrong number of results for its task split —
+    /// an internal invariant violation, not a recoverable device fault.
+    ResultMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::ResultMismatch { expected, got } => {
+                write!(f, "engine returned {got} results for {expected} tasks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
 
 /// Outcome of an overlapped run.
 #[derive(Debug)]
@@ -32,6 +54,12 @@ pub struct OverlapOutcome {
     pub cpu_tasks: usize,
     /// Tasks the GPU engine handled.
     pub gpu_tasks: usize,
+    /// Tasks that failed on every rung of the recovery ladder and were
+    /// skipped (their contigs keep their current sequence).
+    pub failed_tasks: usize,
+    /// The GPU engine branch panicked and its whole task share was re-run
+    /// on the CPU engine.
+    pub gpu_branch_fell_back: bool,
     /// Host wall seconds of the CPU side.
     pub cpu_wall_s: f64,
     /// Host wall seconds spent driving the GPU side (simulation cost).
@@ -61,24 +89,30 @@ impl Default for OverlapDriver {
 
 impl OverlapDriver {
     /// Run all tasks with CPU/GPU overlap.
-    pub fn run(&self, tasks: &[ExtTask], params: &LocalAssemblyParams) -> OverlapOutcome {
+    ///
+    /// Device faults are handled inside the GPU engine's recovery ladder
+    /// (retry → shrink → reset → CPU fallback); if the whole GPU branch
+    /// panics, its task share is re-run on the CPU engine with per-task
+    /// panic isolation, so a single bad task is skipped, never fatal.
+    pub fn run(
+        &self,
+        tasks: &[ExtTask],
+        params: &LocalAssemblyParams,
+    ) -> Result<OverlapOutcome, DriverError> {
         let bins = bin_tasks(tasks);
-        let mut results: Vec<Option<ExtResult>> = vec![None; tasks.len()];
+        let mut results: Vec<Option<TaskOutcome>> = vec![None; tasks.len()];
         for &i in &bins.zero {
-            results[i] = Some(ExtResult::empty());
+            results[i] = Some(TaskOutcome::Done(ExtResult::empty()));
         }
 
         // Split bin 2 between the engines; bin 3 always goes to the GPU
         // first (the paper's scheduling).
         let cpu_take = (bins.small.len() as f64 * self.cpu_bin2_fraction).round() as usize;
         let (cpu_idx, gpu_small) = bins.small.split_at(cpu_take.min(bins.small.len()));
-        let gpu_idx: Vec<usize> =
-            bins.large.iter().chain(gpu_small.iter()).copied().collect();
+        let gpu_idx: Vec<usize> = bins.large.iter().chain(gpu_small.iter()).copied().collect();
 
-        let cpu_task_list: Vec<ExtTask> =
-            cpu_idx.iter().map(|&i| tasks[i].clone()).collect();
-        let gpu_task_list: Vec<ExtTask> =
-            gpu_idx.iter().map(|&i| tasks[i].clone()).collect();
+        let cpu_task_list: Vec<ExtTask> = cpu_idx.iter().map(|&i| tasks[i].clone()).collect();
+        let gpu_task_list: Vec<ExtTask> = gpu_idx.iter().map(|&i| tasks[i].clone()).collect();
 
         let device = self.device.clone();
         let version = self.version;
@@ -88,19 +122,46 @@ impl OverlapDriver {
         // of a rayon join while the CPU engine's par_iter occupies the rest
         // of the pool — the same structure as the paper's driver thread.
         let params_cpu = params.clone();
-        let ((gpu_results, gpu_stats, gpu_wall), (cpu_results, cpu_wall)) = rayon::join(
+        let ((gpu_branch, gpu_wall), (cpu_results, cpu_wall)) = rayon::join(
             move || {
                 let t = Instant::now();
-                let mut engine = GpuLocalAssembler::new(device, params_gpu, version);
-                let (r, s) = engine.extend_tasks(&gpu_task_list);
-                (r, s, t.elapsed().as_secs_f64())
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut engine = GpuLocalAssembler::new(device, params_gpu, version);
+                    engine.extend_tasks_outcomes(&gpu_task_list)
+                }));
+                (r, t.elapsed().as_secs_f64())
             },
             move || {
                 let t = Instant::now();
-                let r = extend_all_cpu(&cpu_task_list, &params_cpu);
+                let r = extend_all_cpu_isolated(&cpu_task_list, &params_cpu);
                 (r, t.elapsed().as_secs_f64())
             },
         );
+
+        // A panic of the whole GPU branch (engine bug, not a device fault —
+        // those are absorbed by the ladder) degrades to re-running its
+        // share on the CPU engine.
+        let (gpu_results, gpu_stats, gpu_branch_fell_back) = match gpu_branch {
+            Ok((r, s)) => (r, Some(s), false),
+            Err(_panic) => {
+                let gpu_task_list: Vec<ExtTask> =
+                    gpu_idx.iter().map(|&i| tasks[i].clone()).collect();
+                (extend_all_cpu_isolated(&gpu_task_list, params), None, true)
+            }
+        };
+
+        if cpu_results.len() != cpu_idx.len() {
+            return Err(DriverError::ResultMismatch {
+                expected: cpu_idx.len(),
+                got: cpu_results.len(),
+            });
+        }
+        if gpu_results.len() != gpu_idx.len() {
+            return Err(DriverError::ResultMismatch {
+                expected: gpu_idx.len(),
+                got: gpu_results.len(),
+            });
+        }
 
         for (&i, r) in cpu_idx.iter().zip(cpu_results) {
             results[i] = Some(r);
@@ -109,21 +170,40 @@ impl OverlapDriver {
             results[i] = Some(r);
         }
 
-        OverlapOutcome {
-            results: results.into_iter().map(|r| r.expect("all resolved")).collect(),
+        let mut failed_tasks = 0usize;
+        let results: Vec<ExtResult> = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let outcome = r.unwrap_or(TaskOutcome::Failed {
+                    contig: tasks[i].contig,
+                    reason: "task was never scheduled".to_string(),
+                });
+                if outcome.is_failed() {
+                    failed_tasks += 1;
+                }
+                outcome.into_result()
+            })
+            .collect();
+
+        Ok(OverlapOutcome {
+            results,
             zero_tasks: bins.zero.len(),
             cpu_tasks: cpu_idx.len(),
             gpu_tasks: gpu_idx.len(),
+            failed_tasks,
+            gpu_branch_fell_back,
             cpu_wall_s: cpu_wall,
             gpu_wall_s: gpu_wall,
-            gpu_stats: Some(gpu_stats),
-        }
+            gpu_stats,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cpu::extend_all_cpu;
     use crate::task::ContigEnd;
     use bioseq::{DnaSeq, Read};
     use rand::rngs::StdRng;
@@ -131,9 +211,7 @@ mod tests {
 
     fn random_seq(len: usize, sd: u64) -> DnaSeq {
         let mut rng = StdRng::seed_from_u64(sd);
-        (0..len)
-            .map(|_| bioseq::Base::from_code(rng.gen_range(0..4)))
-            .collect()
+        (0..len).map(|_| bioseq::Base::from_code(rng.gen_range(0..4))).collect()
     }
 
     fn tasks_with_mixed_bins() -> Vec<ExtTask> {
@@ -148,11 +226,7 @@ mod tests {
             let reads = (0..n_reads)
                 .map(|r| {
                     let start = 60 + (r * 13) % 200;
-                    Read::with_uniform_qual(
-                        format!("t{i}r{r}"),
-                        genome.subseq(start, 80),
-                        35,
-                    )
+                    Read::with_uniform_qual(format!("t{i}r{r}"), genome.subseq(start, 80), 35)
                 })
                 .collect();
             tasks.push(ExtTask {
@@ -170,9 +244,11 @@ mod tests {
         let tasks = tasks_with_mixed_bins();
         let params = LocalAssemblyParams::for_tests();
         let pure = extend_all_cpu(&tasks, &params);
-        let outcome = OverlapDriver::default().run(&tasks, &params);
+        let outcome = OverlapDriver::default().run(&tasks, &params).expect("driver runs");
         assert_eq!(outcome.results, pure);
         assert_eq!(outcome.zero_tasks, 8);
+        assert_eq!(outcome.failed_tasks, 0);
+        assert!(!outcome.gpu_branch_fell_back);
         assert_eq!(outcome.cpu_tasks + outcome.gpu_tasks + outcome.zero_tasks, tasks.len());
     }
 
@@ -183,7 +259,7 @@ mod tests {
         let pure = extend_all_cpu(&tasks, &params);
         for frac in [0.0, 1.0] {
             let driver = OverlapDriver { cpu_bin2_fraction: frac, ..Default::default() };
-            let outcome = driver.run(&tasks, &params);
+            let outcome = driver.run(&tasks, &params).expect("driver runs");
             assert_eq!(outcome.results, pure, "fraction {frac}");
             if frac == 0.0 {
                 assert_eq!(outcome.cpu_tasks, 0);
@@ -200,9 +276,35 @@ mod tests {
         let tasks = tasks_with_mixed_bins();
         let params = LocalAssemblyParams::for_tests();
         let driver = OverlapDriver { cpu_bin2_fraction: 1.0, ..Default::default() };
-        let outcome = driver.run(&tasks, &params);
+        let outcome = driver.run(&tasks, &params).expect("driver runs");
         let stats = outcome.gpu_stats.expect("gpu ran");
         assert_eq!(stats.device_tasks, 8, "the 8 bin-3 tasks");
         assert!(stats.seconds > 0.0);
+    }
+
+    #[test]
+    fn injected_faults_degrade_gracefully() {
+        use gpusim::{Fault, FaultPlan};
+        let tasks = tasks_with_mixed_bins();
+        let params = LocalAssemblyParams::for_tests();
+        let pure = extend_all_cpu(&tasks, &params);
+        // A denied allocation AND a hung kernel in the same run: the
+        // ladder shrinks / resets / falls back, and the final extensions
+        // must be byte-identical to the fault-free run.
+        let plan = FaultPlan {
+            faults: vec![
+                Fault::SlabOom { at_alloc: 0 },
+                Fault::KernelHang { at_launch: 1, after_cycles: 5_000 },
+            ],
+        };
+        let driver = OverlapDriver {
+            device: DeviceConfig::v100().with_fault_plan(plan),
+            ..Default::default()
+        };
+        let outcome = driver.run(&tasks, &params).expect("driver runs");
+        assert_eq!(outcome.results, pure, "recovery must not change results");
+        assert_eq!(outcome.failed_tasks, 0);
+        let stats = outcome.gpu_stats.expect("gpu ran");
+        assert!(stats.recovery.any_recovery(), "ladder must have been exercised");
     }
 }

@@ -7,21 +7,90 @@
 //! batches" boxes of Figure 4) and launched one batch per kernel.
 
 use crate::binning::bin_tasks;
+use crate::cpu::extend_end_cpu;
 use crate::gpu::kernel::{extension_kernel_v2, KernelVersion};
 use crate::gpu::kernel_v1::extension_kernel_v1;
 use crate::gpu::layout;
 use crate::gpu::pack::{estimate_task_words, pack_batch};
 use crate::params::{LocalAssemblyParams, WalkState};
-use crate::task::{ExtResult, ExtTask};
+use crate::task::{panic_reason, ExtResult, ExtTask, TaskOutcome};
 use bioseq::DnaSeq;
-use gpusim::{Counters, Device, DeviceConfig, RooflineReport};
+use gpusim::{Counters, Device, DeviceConfig, DeviceOom, LaunchError, RooflineReport};
+
+/// Knobs of the recovery ladder (inject → retry → shrink → reset+backoff →
+/// CPU fallback → skip).
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Device attempts per batch of work; each failed attempt halves the
+    /// batch (or retries a singleton) until the budget runs out.
+    pub max_batch_attempts: u32,
+    /// Device resets tolerated before the device is declared lost for the
+    /// rest of the run.
+    pub max_device_resets: u64,
+    /// After the ladder's device rungs are exhausted, run the affected
+    /// tasks on the CPU reference engine (`true`) or report them as
+    /// [`TaskOutcome::Failed`] so the caller can reschedule them (`false`,
+    /// what the multi-GPU dispatcher uses).
+    pub cpu_fallback: bool,
+    /// Simulated wait before the first device reset; doubles per reset.
+    pub backoff_base_s: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_batch_attempts: 3,
+            max_device_resets: 3,
+            cpu_fallback: true,
+            backoff_base_s: 1e-3,
+        }
+    }
+}
+
+/// What the recovery ladder had to do during a run. All-zero on a healthy
+/// device.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Singleton batches retried on the device after a failure.
+    pub launch_retries: u64,
+    /// Batches halved after a failure.
+    pub batch_splits: u64,
+    /// Device resets performed (each follows a fatal launch error).
+    pub device_resets: u64,
+    /// Simulated backoff seconds spent waiting before resets.
+    pub backoff_s: f64,
+    /// Tasks completed by the CPU fallback after the device gave up.
+    pub cpu_fallback_tasks: usize,
+    /// Tasks that failed everywhere and were skipped.
+    pub failed_tasks: usize,
+    /// The device exhausted its reset budget and was abandoned.
+    pub device_lost: bool,
+}
+
+impl RecoveryStats {
+    /// True if any rung of the ladder was exercised.
+    pub fn any_recovery(&self) -> bool {
+        *self != RecoveryStats::default()
+    }
+
+    /// Fold another run's recovery bookkeeping into this one.
+    pub fn absorb(&mut self, other: &RecoveryStats) {
+        self.launch_retries += other.launch_retries;
+        self.batch_splits += other.batch_splits;
+        self.device_resets += other.device_resets;
+        self.backoff_s += other.backoff_s;
+        self.cpu_fallback_tasks += other.cpu_fallback_tasks;
+        self.failed_tasks += other.failed_tasks;
+        self.device_lost |= other.device_lost;
+    }
+}
 
 /// Execution statistics for a GPU local-assembly run.
 #[derive(Debug, Clone)]
 pub struct GpuRunStats {
-    /// Kernel launches performed.
+    /// Kernel launches completed successfully.
     pub launches: u64,
-    /// Batches built (== launches).
+    /// Batches completed (== launches).
     pub batches: u64,
     /// Tasks executed on the device (bins 2+3).
     pub device_tasks: usize,
@@ -33,12 +102,65 @@ pub struct GpuRunStats {
     pub seconds: f64,
     /// Peak device words used by any batch.
     pub peak_mem_words: u64,
+    /// Recovery-ladder bookkeeping.
+    pub recovery: RecoveryStats,
+}
+
+impl Default for GpuRunStats {
+    fn default() -> GpuRunStats {
+        GpuRunStats::empty()
+    }
 }
 
 impl GpuRunStats {
+    fn empty() -> GpuRunStats {
+        GpuRunStats {
+            launches: 0,
+            batches: 0,
+            device_tasks: 0,
+            zero_tasks: 0,
+            counters: Counters::new(),
+            seconds: 0.0,
+            peak_mem_words: 0,
+            recovery: RecoveryStats::default(),
+        }
+    }
+
     /// Roofline characterization of the run.
     pub fn roofline(&self, name: &str, cfg: &DeviceConfig) -> RooflineReport {
         RooflineReport::from_counters(name, cfg, &self.counters, self.seconds)
+    }
+
+    /// Fold another run's statistics into this one (multi-round dispatch).
+    pub fn absorb(&mut self, other: &GpuRunStats) {
+        self.launches += other.launches;
+        self.batches += other.batches;
+        self.device_tasks += other.device_tasks;
+        self.zero_tasks += other.zero_tasks;
+        self.counters.merge(&other.counters);
+        self.seconds += other.seconds;
+        self.peak_mem_words = self.peak_mem_words.max(other.peak_mem_words);
+        self.recovery.absorb(&other.recovery);
+    }
+}
+
+/// Why one device attempt at a batch failed (internal to the ladder).
+enum BatchError {
+    /// Packing ran out of device memory (real or injected).
+    Oom(DeviceOom),
+    /// The kernel launch failed; the device context is poisoned.
+    Launch(LaunchError),
+    /// Output records failed validation (device-memory corruption).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::Oom(e) => write!(f, "{e}"),
+            BatchError::Launch(e) => write!(f, "{e}"),
+            BatchError::Corrupt(what) => write!(f, "corrupt output: {what}"),
+        }
     }
 }
 
@@ -49,6 +171,10 @@ pub struct GpuLocalAssembler {
     version: KernelVersion,
     /// Fraction of device memory a batch may use.
     mem_budget_frac: f64,
+    policy: RecoveryPolicy,
+    /// Set when the device exhausted its reset budget; all remaining work
+    /// skips the device rungs of the ladder.
+    device_dead: bool,
 }
 
 impl GpuLocalAssembler {
@@ -63,7 +189,15 @@ impl GpuLocalAssembler {
             params,
             version,
             mem_budget_frac: 0.8,
+            policy: RecoveryPolicy::default(),
+            device_dead: false,
         }
+    }
+
+    /// Override the recovery policy (builder style).
+    pub fn with_recovery_policy(mut self, policy: RecoveryPolicy) -> GpuLocalAssembler {
+        self.policy = policy;
+        self
     }
 
     /// The parameters in force.
@@ -76,78 +210,204 @@ impl GpuLocalAssembler {
         &self.device
     }
 
-    /// Extend every task; results are index-aligned with `tasks`.
+    /// Extend every task; results are index-aligned with `tasks`. Failed
+    /// tasks (possible only with `cpu_fallback: false`, or when the CPU
+    /// fallback itself panics) collapse to empty results.
     ///
     /// Scheduling follows the paper: bin 1 is answered immediately; bin 3
     /// (large tasks) is offloaded first, then bin 2 — so the earliest
     /// launches carry the most work, maximizing CPU/GPU overlap for the
     /// caller.
     pub fn extend_tasks(&mut self, tasks: &[ExtTask]) -> (Vec<ExtResult>, GpuRunStats) {
+        let (outcomes, stats) = self.extend_tasks_outcomes(tasks);
+        (outcomes.into_iter().map(TaskOutcome::into_result).collect(), stats)
+    }
+
+    /// Extend every task, reporting per-task outcomes. Device failures walk
+    /// the recovery ladder; a task is [`TaskOutcome::Failed`] only once
+    /// every rung is exhausted.
+    pub fn extend_tasks_outcomes(&mut self, tasks: &[ExtTask]) -> (Vec<TaskOutcome>, GpuRunStats) {
         let bins = bin_tasks(tasks);
-        let mut results: Vec<Option<ExtResult>> = vec![None; tasks.len()];
+        let mut results: Vec<Option<TaskOutcome>> = vec![None; tasks.len()];
         for &i in &bins.zero {
-            results[i] = Some(ExtResult::empty());
+            results[i] = Some(TaskOutcome::Done(ExtResult::empty()));
         }
 
-        let mut stats = GpuRunStats {
-            launches: 0,
-            batches: 0,
-            device_tasks: 0,
-            zero_tasks: bins.zero.len(),
-            counters: Counters::new(),
-            seconds: 0.0,
-            peak_mem_words: 0,
-        };
+        let mut stats = GpuRunStats::empty();
+        stats.zero_tasks = bins.zero.len();
 
         // Bin 3 first, then bin 2.
         let order: Vec<usize> = bins.large.iter().chain(bins.small.iter()).copied().collect();
-        let budget =
-            (self.device.config().capacity_words() as f64 * self.mem_budget_frac) as u64;
+        let budget = (self.device.config().capacity_words() as f64 * self.mem_budget_frac) as u64;
 
-        let mut batch_idx: Vec<usize> = Vec::new();
-        let mut batch_words: u64 = 0;
-        let flush = |engine: &mut GpuLocalAssembler,
-                         batch_idx: &mut Vec<usize>,
-                         batch_words: &mut u64,
-                         results: &mut Vec<Option<ExtResult>>,
-                         stats: &mut GpuRunStats| {
-            if batch_idx.is_empty() {
-                return;
-            }
-            let batch_tasks: Vec<&ExtTask> = batch_idx.iter().map(|&i| &tasks[i]).collect();
-            let outs = engine.run_batch(&batch_tasks, stats);
-            for (&i, out) in batch_idx.iter().zip(outs) {
-                results[i] = Some(out);
-            }
-            batch_idx.clear();
-            *batch_words = 0;
-        };
-
+        // Greedy batching under the memory budget. A single task too large
+        // for the whole device skips the device entirely (degrade, don't
+        // abort).
+        let mut batches: Vec<Vec<usize>> = Vec::new();
+        let mut oversized: Vec<usize> = Vec::new();
+        let mut cur: Vec<usize> = Vec::new();
+        let mut cur_words: u64 = 0;
         for &i in &order {
             let w = estimate_task_words(&tasks[i], &self.params);
-            assert!(
-                w <= budget,
-                "single task ({w} words) exceeds device budget ({budget} words)"
-            );
-            if batch_words + w > budget {
-                flush(self, &mut batch_idx, &mut batch_words, &mut results, &mut stats);
+            if w > budget {
+                oversized.push(i);
+                continue;
             }
-            batch_idx.push(i);
-            batch_words += w;
+            if cur_words + w > budget && !cur.is_empty() {
+                batches.push(std::mem::take(&mut cur));
+                cur_words = 0;
+            }
+            cur.push(i);
+            cur_words += w;
         }
-        flush(self, &mut batch_idx, &mut batch_words, &mut results, &mut stats);
+        if !cur.is_empty() {
+            batches.push(cur);
+        }
 
-        stats.device_tasks = order.len();
-        (
-            results.into_iter().map(|r| r.expect("all tasks resolved")).collect(),
-            stats,
-        )
+        stats.device_tasks = order.len() - oversized.len();
+        for batch in &batches {
+            self.run_batch_recovering(
+                tasks,
+                batch,
+                &mut results,
+                &mut stats,
+                self.policy.max_batch_attempts,
+            );
+        }
+        for &i in &oversized {
+            let outcome = self.off_device(&tasks[i], "task exceeds device memory", &mut stats);
+            results[i] = Some(outcome);
+        }
+
+        let outcomes = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or(TaskOutcome::Failed {
+                    contig: tasks[i].contig,
+                    reason: "task was never scheduled".to_string(),
+                })
+            })
+            .collect();
+        (outcomes, stats)
     }
 
-    /// Pack, launch, and unpack one batch.
-    fn run_batch(&mut self, batch_tasks: &[&ExtTask], stats: &mut GpuRunStats) -> Vec<ExtResult> {
+    /// Run one batch through the ladder: try the device; on failure recover
+    /// the device (reset + backoff), then halve the batch (or retry a
+    /// singleton) while attempts remain; past that, hand the tasks to
+    /// [`GpuLocalAssembler::off_device`].
+    fn run_batch_recovering(
+        &mut self,
+        tasks: &[ExtTask],
+        idx: &[usize],
+        results: &mut [Option<TaskOutcome>],
+        stats: &mut GpuRunStats,
+        attempts_left: u32,
+    ) {
+        if idx.is_empty() {
+            return;
+        }
+        if self.device_dead {
+            for &i in idx {
+                results[i] = Some(self.off_device(&tasks[i], "device lost", stats));
+            }
+            return;
+        }
+        let batch_tasks: Vec<&ExtTask> = idx.iter().map(|&i| &tasks[i]).collect();
+        match self.try_batch(&batch_tasks, stats) {
+            Ok(outs) => {
+                for (&i, out) in idx.iter().zip(outs) {
+                    results[i] = Some(TaskOutcome::Done(out));
+                }
+            }
+            Err(_err) => {
+                self.recover_device(stats);
+                if attempts_left > 1 && !self.device_dead {
+                    if idx.len() > 1 {
+                        // Shrink: half the batch means half the slab on the
+                        // next pack.
+                        stats.recovery.batch_splits += 1;
+                        let mid = idx.len() / 2;
+                        self.run_batch_recovering(
+                            tasks,
+                            &idx[..mid],
+                            results,
+                            stats,
+                            attempts_left - 1,
+                        );
+                        self.run_batch_recovering(
+                            tasks,
+                            &idx[mid..],
+                            results,
+                            stats,
+                            attempts_left - 1,
+                        );
+                    } else {
+                        stats.recovery.launch_retries += 1;
+                        self.run_batch_recovering(tasks, idx, results, stats, attempts_left - 1);
+                    }
+                } else {
+                    for &i in idx {
+                        results[i] =
+                            Some(self.off_device(&tasks[i], "device attempts exhausted", stats));
+                    }
+                }
+            }
+        }
+    }
+
+    /// If the last failure poisoned the device, reset it after a simulated
+    /// exponential backoff; declare the device lost past the reset budget.
+    fn recover_device(&mut self, stats: &mut GpuRunStats) {
+        if !self.device.is_poisoned() {
+            return; // e.g. an OOM: the device is still usable as-is
+        }
+        if self.device.resets() >= self.policy.max_device_resets {
+            self.device_dead = true;
+            stats.recovery.device_lost = true;
+            return;
+        }
+        let backoff = self.policy.backoff_base_s * f64::powi(2.0, self.device.resets() as i32);
+        stats.recovery.backoff_s += backoff;
+        self.device.reset_device();
+        stats.recovery.device_resets += 1;
+    }
+
+    /// Last rungs of the ladder for one task: the CPU reference engine
+    /// (panic-isolated — a panicking task is skipped, never aborts the
+    /// bin), or an explicit failure if the policy forbids CPU fallback.
+    fn off_device(&self, task: &ExtTask, why: &str, stats: &mut GpuRunStats) -> TaskOutcome {
+        if !self.policy.cpu_fallback {
+            stats.recovery.failed_tasks += 1;
+            return TaskOutcome::Failed { contig: task.contig, reason: why.to_string() };
+        }
+        let params = &self.params;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            extend_end_cpu(task, params)
+        })) {
+            Ok(r) => {
+                stats.recovery.cpu_fallback_tasks += 1;
+                TaskOutcome::Done(r)
+            }
+            Err(payload) => {
+                stats.recovery.failed_tasks += 1;
+                TaskOutcome::Failed {
+                    contig: task.contig,
+                    reason: format!("{why}; CPU fallback panicked: {}", panic_reason(payload)),
+                }
+            }
+        }
+    }
+
+    /// One device attempt: pack, launch, and unpack one batch.
+    fn try_batch(
+        &mut self,
+        batch_tasks: &[&ExtTask],
+        stats: &mut GpuRunStats,
+    ) -> Result<Vec<ExtResult>, BatchError> {
         self.device.reset_mem();
-        let batch = pack_batch(&mut self.device, batch_tasks, &self.params);
+        let batch =
+            pack_batch(&mut self.device, batch_tasks, &self.params).map_err(BatchError::Oom)?;
         stats.peak_mem_words = stats.peak_mem_words.max(self.device.mem_used_words());
         let params = self.params.clone();
         let launch = match self.version {
@@ -161,32 +421,32 @@ impl GpuLocalAssembler {
                     extension_kernel_v1(ctx, &batch, &params, batch.n_exts);
                 })
             }
-        };
+        }
+        .map_err(BatchError::Launch)?;
         stats.launches += 1;
         stats.batches += 1;
         stats.counters.merge(&launch.counters);
         stats.seconds += launch.timing.total_seconds();
 
-        // Unpack output records.
+        // Unpack output records, validating against corruption.
         let mut out = Vec::with_capacity(batch.n_exts);
         for e in 0..batch.n_exts as u64 {
-            let rec = self
-                .device
-                .d2h(batch.out, e * batch.out_stride, batch.out_stride);
+            let rec = self.device.d2h(batch.out, e * batch.out_stride, batch.out_stride);
             let n_app = rec[0] as usize;
+            if 2 + n_app.div_ceil(32) > rec.len() {
+                return Err(BatchError::Corrupt("appended length exceeds record"));
+            }
             let (state, iterations) = layout::decode_out_header(rec[1]);
+            let final_state =
+                WalkState::from_u64(state).ok_or(BatchError::Corrupt("invalid walk state"))?;
             let mut appended = DnaSeq::with_capacity(n_app);
             for i in 0..n_app {
                 let word = rec[2 + i / 32];
                 appended.push_code(((word >> (2 * (i % 32))) & 3) as u8);
             }
-            out.push(ExtResult {
-                appended,
-                final_state: WalkState::from_u64(state),
-                iterations,
-            });
+            out.push(ExtResult { appended, final_state, iterations });
         }
-        out
+        Ok(out)
     }
 }
 
@@ -201,9 +461,7 @@ mod tests {
 
     fn random_seq(len: usize, sd: u64) -> DnaSeq {
         let mut rng = StdRng::seed_from_u64(sd);
-        (0..len)
-            .map(|_| bioseq::Base::from_code(rng.gen_range(0..4)))
-            .collect()
+        (0..len).map(|_| bioseq::Base::from_code(rng.gen_range(0..4))).collect()
     }
 
     fn tiling_reads(genome: &DnaSeq, from: usize, read_len: usize, stride: usize) -> Vec<Read> {
@@ -242,11 +500,7 @@ mod tests {
     }
 
     fn engine(version: KernelVersion) -> GpuLocalAssembler {
-        GpuLocalAssembler::new(
-            DeviceConfig::v100(),
-            LocalAssemblyParams::for_tests(),
-            version,
-        )
+        GpuLocalAssembler::new(DeviceConfig::v100(), LocalAssemblyParams::for_tests(), version)
     }
 
     #[test]
@@ -317,6 +571,95 @@ mod tests {
         let params = LocalAssemblyParams::for_tests();
         let cpu = extend_all_cpu(&tasks, &params);
         assert_eq!(cpu, gpu, "batch splitting must not change results");
+    }
+
+    fn faulty_engine(plan: gpusim::FaultPlan) -> GpuLocalAssembler {
+        GpuLocalAssembler::new(
+            DeviceConfig::v100().with_fault_plan(plan),
+            LocalAssemblyParams::for_tests(),
+            KernelVersion::V2,
+        )
+    }
+
+    #[test]
+    fn injected_slab_oom_recovers_identically() {
+        use gpusim::{Fault, FaultPlan};
+        let tasks = make_test_tasks(8);
+        let params = LocalAssemblyParams::for_tests();
+        let cpu = extend_all_cpu(&tasks, &params);
+        // The very first allocation is denied: the ladder must shrink the
+        // batch (or retry) and still produce identical extensions.
+        let mut eng = faulty_engine(FaultPlan::single(Fault::SlabOom { at_alloc: 0 }));
+        let (gpu, stats) = eng.extend_tasks(&tasks);
+        assert_eq!(cpu, gpu, "recovery must not change results");
+        assert!(
+            stats.recovery.batch_splits >= 1 || stats.recovery.launch_retries >= 1,
+            "ladder must have shrunk or retried: {:?}",
+            stats.recovery
+        );
+        assert_eq!(stats.recovery.failed_tasks, 0);
+    }
+
+    #[test]
+    fn injected_hang_resets_and_recovers() {
+        use gpusim::{Fault, FaultPlan};
+        let tasks = make_test_tasks(8);
+        let params = LocalAssemblyParams::for_tests();
+        let cpu = extend_all_cpu(&tasks, &params);
+        // First kernel hangs; the poisoned context must be reset (with
+        // backoff) and the run completed with identical output.
+        let mut eng = faulty_engine(FaultPlan::single(Fault::KernelHang {
+            at_launch: 0,
+            after_cycles: 10_000,
+        }));
+        let (gpu, stats) = eng.extend_tasks(&tasks);
+        assert_eq!(cpu, gpu);
+        assert!(stats.recovery.device_resets >= 1, "hang must force a reset");
+        assert!(stats.recovery.backoff_s > 0.0, "reset must charge backoff");
+        assert!(!stats.recovery.device_lost);
+    }
+
+    #[test]
+    fn hang_storm_falls_back_to_cpu() {
+        use gpusim::{Fault, FaultPlan};
+        let tasks = make_test_tasks(8);
+        let params = LocalAssemblyParams::for_tests();
+        let cpu = extend_all_cpu(&tasks, &params);
+        // Every launch hangs: the reset allowance runs out, the device is
+        // declared lost, and all remaining work lands on the CPU engine —
+        // still byte-identical.
+        let plan = FaultPlan {
+            faults: (0..64)
+                .map(|i| Fault::KernelHang { at_launch: i, after_cycles: 100 })
+                .collect(),
+        };
+        let (gpu, stats) = faulty_engine(plan).extend_tasks(&tasks);
+        assert_eq!(cpu, gpu, "CPU fallback must match the fault-free run");
+        assert!(stats.recovery.device_lost, "reset budget must be exhausted");
+        assert!(stats.recovery.cpu_fallback_tasks > 0);
+        assert_eq!(stats.recovery.failed_tasks, 0);
+    }
+
+    #[test]
+    fn no_fallback_policy_reports_failures() {
+        use gpusim::{Fault, FaultPlan};
+        let tasks = make_test_tasks(8);
+        let plan = FaultPlan {
+            faults: (0..64)
+                .map(|i| Fault::KernelHang { at_launch: i, after_cycles: 100 })
+                .collect(),
+        };
+        // With CPU fallback disabled (the multi-GPU dispatcher's round-1
+        // policy), unrecoverable tasks surface as Failed outcomes instead
+        // of silently emptying.
+        let mut eng = faulty_engine(plan)
+            .with_recovery_policy(RecoveryPolicy { cpu_fallback: false, ..Default::default() });
+        let (outcomes, stats) = eng.extend_tasks_outcomes(&tasks);
+        assert!(stats.recovery.device_lost);
+        assert_eq!(stats.recovery.cpu_fallback_tasks, 0);
+        let failed = outcomes.iter().filter(|o| o.is_failed()).count();
+        assert!(failed > 0, "failures must be reported, not hidden");
+        assert_eq!(failed, stats.recovery.failed_tasks);
     }
 
     #[test]

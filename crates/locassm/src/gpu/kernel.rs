@@ -29,8 +29,8 @@
 //! loop-carried branch.
 
 use crate::gpu::layout::{
-    self, decode_key, encode_key, key_is_current, ENTRY_WORDS, EXT_META_WORDS,
-    READ_META_WORDS, VIS_ENTRY_WORDS,
+    self, decode_key, encode_key, key_is_current, ENTRY_WORDS, EXT_META_WORDS, READ_META_WORDS,
+    VIS_ENTRY_WORDS,
 };
 use crate::gpu::pack::GpuBatch;
 use crate::params::{KShift, LocalAssemblyParams, WalkState};
@@ -116,16 +116,23 @@ pub fn extension_kernel_v2(ctx: &mut WarpCtx, batch: &GpuBatch, params: &LocalAs
         if budget == 0 || work_len < k {
             walk_state = WalkState::DeadEnd;
         } else {
-            build_table_v2(
-                ctx, batch, read_slot_start, n_reads, ht_off, ht_slots, k, iter_tag,
-            );
+            build_table_v2(ctx, batch, read_slot_start, n_reads, ht_off, ht_slots, k, iter_tag);
 
             // ---- DNA walk: lane 0 only ----
             ctx.push_mask(1);
             let max_steps = params.max_walk_len.min(budget);
             let (state, n_app) = dna_walk_lane0(
-                ctx, batch, ht_off, ht_slots, vis_off, vis_slots, k, iter_tag, work_len,
-                max_steps, params.min_viable,
+                ctx,
+                batch,
+                ht_off,
+                ht_slots,
+                vis_off,
+                vis_slots,
+                k,
+                iter_tag,
+                work_len,
+                max_steps,
+                params.min_viable,
             );
             ctx.pop_mask();
             walk_state = state;
@@ -140,7 +147,10 @@ pub fn extension_kernel_v2(ctx: &mut WarpCtx, batch: &GpuBatch, params: &LocalAs
         let mut sv: Lanes<u64> = [0; WARP];
         sv[0] = walk_state.to_u64();
         let broadcast = ctx.shfl(&sv, 0);
-        let state = WalkState::from_u64(broadcast[0]);
+        // The broadcast value was written by this warp one shuffle ago, so
+        // it is always a valid encoding; a corrupted value conservatively
+        // terminates the walk as a dead end rather than aborting the kernel.
+        let state = WalkState::from_u64(broadcast[0]).unwrap_or(WalkState::DeadEnd);
         ctx.ctrl_ops(2);
         if !kshift.on_walk(state) {
             break;
@@ -254,12 +264,11 @@ fn build_table_v2(
             ctx.syncwarp();
 
             // Probe + insert + vote.
-            let descs = ctx.lanes_from(|l| {
-                encode_key(slot_global as u32, (j0 + l) as u16, iter_tag, k as u8)
-            });
+            let descs = ctx
+                .lanes_from(|l| encode_key(slot_global as u32, (j0 + l) as u16, iter_tag, k as u8));
             probe_and_vote_v2(
-                ctx, batch, ht_off, ht_slots, mask, &kms, &hashes, &descs, &ext_codes,
-                &hi_tier, k, iter_tag,
+                ctx, batch, ht_off, ht_slots, mask, &kms, &hashes, &descs, &ext_codes, &hi_tier, k,
+                iter_tag,
             );
             ctx.pop_mask();
             j0 += WARP;
@@ -301,8 +310,8 @@ fn probe_and_vote_v2(
         ctx.int_ops(2); // slot -> address
 
         // 1. read the key word of each pending lane's slot.
-        let key_addrs =
-            ctx.lanes_from(|l| (pending & (1 << l) != 0).then(|| table_base + slot[l] * ENTRY_WORDS));
+        let key_addrs = ctx
+            .lanes_from(|l| (pending & (1 << l) != 0).then(|| table_base + slot[l] * ENTRY_WORDS));
         let keys = ctx.ld_global(&key_addrs);
 
         // 2. lanes whose slot is empty-or-stale try to claim it with CAS on
@@ -364,7 +373,7 @@ fn probe_and_vote_v2(
             for &l in &cmp_lanes {
                 stored_meta[l] = bases_starts[l];
             }
-            let kmw = (k + 31) / 32;
+            let kmw = k.div_ceil(32);
             let max_span = kmw + 1;
             let mut stored_words: Vec<Lanes<u64>> = Vec::with_capacity(max_span);
             for w in 0..max_span {
@@ -433,7 +442,7 @@ fn dna_walk_lane0(
 ) -> (WalkState, usize) {
     let table_base = batch.slab.addr + ht_off;
     let vis_base = batch.visited.addr + vis_off;
-    let kmw = (k + 31) / 32;
+    let kmw = k.div_ceil(32);
     let mut work_len = work_len_in;
 
     // Materialize the terminal k-mer from the working window.

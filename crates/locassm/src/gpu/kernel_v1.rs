@@ -64,7 +64,8 @@ pub fn extension_kernel_v1(
     let mut meta = [[0u64; EXT_META_WORDS as usize]; WARP];
     for w in 0..EXT_META_WORDS {
         let addrs = ctx.lanes_from(|l| {
-            (l < lanes_here).then(|| batch.ext_meta.addr + (base_ext + l as u64) * EXT_META_WORDS + w)
+            (l < lanes_here)
+                .then(|| batch.ext_meta.addr + (base_ext + l as u64) * EXT_META_WORDS + w)
         });
         let vals = ctx.ld_global(&addrs);
         for l in 0..lanes_here {
@@ -100,17 +101,14 @@ pub fn extension_kernel_v1(
         .unwrap_or(0);
     for w in 0..max_tail_words {
         let addrs = ctx.lanes_from(|l| {
-            (l < lanes_here
-                && !lanes[l].done
-                && w < (lanes[l].tail_len as u64).div_ceil(32))
+            (l < lanes_here && !lanes[l].done && w < (lanes[l].tail_len as u64).div_ceil(32))
                 .then(|| batch.tails.addr + meta[l][6] + w)
         });
         let words = ctx.ld_global(&addrs);
         for b in 0..32usize {
             let offs = ctx.lanes_from(|l| {
                 let idx = (w as usize) * 32 + b;
-                (l < lanes_here && !lanes[l].done && idx < lanes[l].tail_len)
-                    .then(|| idx as u64)
+                (l < lanes_here && !lanes[l].done && idx < lanes[l].tail_len).then_some(idx as u64)
             });
             let vals = ctx.lanes_from(|l| (words[l] >> (2 * b)) & 3);
             ctx.int_ops(2);
@@ -148,9 +146,7 @@ pub fn extension_kernel_v1(
 
         if !working.is_empty() {
             build_tables_lockstep(ctx, batch, params, &lanes, &working, &ks, &tags);
-            walk_lockstep(
-                ctx, batch, params, &mut lanes, &working, &ks, &tags, &mut walk_state,
-            );
+            walk_lockstep(ctx, batch, params, &mut lanes, &working, &ks, &tags, &mut walk_state);
         }
 
         // Per-lane controller updates (uniform control ops).
@@ -166,10 +162,10 @@ pub fn extension_kernel_v1(
     }
 
     // ---- store output records (scattered) ----
-    let out_addrs = ctx.lanes_from(|l| {
-        (l < lanes_here).then(|| batch.out.addr + lanes[l].ext * batch.out_stride)
-    });
-    let out_lens = ctx.lanes_from(|l| if l < lanes_here { lanes[l].appended_total as u64 } else { 0 });
+    let out_addrs = ctx
+        .lanes_from(|l| (l < lanes_here).then(|| batch.out.addr + lanes[l].ext * batch.out_stride));
+    let out_lens =
+        ctx.lanes_from(|l| if l < lanes_here { lanes[l].appended_total as u64 } else { 0 });
     ctx.st_global(&out_addrs, &out_lens);
     let hdr_addrs = ctx.lanes_from(|l| {
         (l < lanes_here).then(|| batch.out.addr + lanes[l].ext * batch.out_stride + 1)
@@ -183,11 +179,8 @@ pub fn extension_kernel_v1(
     });
     ctx.st_global(&hdr_addrs, &hdrs);
 
-    let max_out_words = lanes
-        .iter()
-        .map(|s| (s.appended_total as u64).div_ceil(32))
-        .max()
-        .unwrap_or(0);
+    let max_out_words =
+        lanes.iter().map(|s| (s.appended_total as u64).div_ceil(32)).max().unwrap_or(0);
     for w in 0..max_out_words {
         // Gather 32 bases from each lane's local window, then store.
         let mut words: Lanes<u64> = [0; WARP];
@@ -307,11 +300,7 @@ fn build_tables_lockstep(
             ctx.pop_mask();
         }
 
-        let active: Vec<usize> = working
-            .iter()
-            .copied()
-            .filter(|&l| !cursors[l].done)
-            .collect();
+        let active: Vec<usize> = working.iter().copied().filter(|&l| !cursors[l].done).collect();
         if active.is_empty() {
             break;
         }
@@ -377,9 +366,7 @@ fn build_tables_lockstep(
         let kmw_max = max_k.div_ceil(32) as u64;
         ctx.int_ops(6 * kmw_max); // murmur2
 
-        probe_and_vote_v1(
-            ctx, batch, lanes, &kms, &hashes, &descs, &ext_codes, &hi_tier, ks, tags,
-        );
+        probe_and_vote_v1(ctx, batch, lanes, &kms, &hashes, &descs, &ext_codes, &hi_tier, ks, tags);
 
         for &l in &active {
             cursors[l].pos += 1;
@@ -413,8 +400,7 @@ fn probe_and_vote_v1(
     }
     ctx.int_ops(2);
     let mut entry: Lanes<Option<u64>> = [None; WARP];
-    let entry_addr =
-        |l: usize, s: u64| batch.slab.addr + lanes[l].ht_off + s * ENTRY_WORDS;
+    let entry_addr = |l: usize, s: u64| batch.slab.addr + lanes[l].ht_off + s * ENTRY_WORDS;
     let mut guard = 0u64;
     let max_slots = (0..WARP)
         .filter(|&l| pending & (1 << l) != 0)
@@ -447,8 +433,8 @@ fn probe_and_vote_v1(
         }
         if !claimed.is_empty() {
             for off in [1u64, 2u64] {
-                let addrs = ctx
-                    .lanes_from(|l| claimed.contains(&l).then(|| entry_addr(l, slot[l]) + off));
+                let addrs =
+                    ctx.lanes_from(|l| claimed.contains(&l).then(|| entry_addr(l, slot[l]) + off));
                 ctx.st_global(&addrs, &[0; WARP]);
             }
             for &l in &claimed {
@@ -476,9 +462,7 @@ fn probe_and_vote_v1(
                 let addrs = ctx.lanes_from(|l| {
                     (cmp.contains(&l) && j < ks[l]).then(|| {
                         let (_, pos, _, _) = decode_key(keys[l]);
-                        batch.reads_bases.addr
-                            + bases_starts[l]
-                            + ((pos as usize + j) / 32) as u64
+                        batch.reads_bases.addr + bases_starts[l] + ((pos as usize + j) / 32) as u64
                     })
                 });
                 let loaded = ctx.ld_global(&addrs);
@@ -542,8 +526,7 @@ fn walk_lockstep(
         let mut codes: Lanes<Vec<u8>> = std::array::from_fn(|_| Vec::new());
         for j in 0..max_k {
             let offs = ctx.lanes_from(|l| {
-                (working.contains(&l) && j < ks[l])
-                    .then(|| (lanes[l].work_len - ks[l] + j) as u64)
+                (working.contains(&l) && j < ks[l]).then(|| (lanes[l].work_len - ks[l] + j) as u64)
             });
             let vals = ctx.ld_local(&offs);
             ctx.int_ops(1);
@@ -570,6 +553,18 @@ fn walk_lockstep(
     let mut walking: Vec<usize> = working.to_vec();
 
     while !walking.is_empty() {
+        // Lane invariant: every walking lane carries its current k-mer. If
+        // device-memory corruption ever breaks it, dead-end the lane
+        // instead of panicking the whole kernel.
+        walking.retain(|&l| {
+            if cur[l].is_none() {
+                walk_state[l] = WalkState::DeadEnd;
+            }
+            cur[l].is_some()
+        });
+        if walking.is_empty() {
+            break;
+        }
         let wmask: u32 = walking.iter().map(|&l| 1u32 << l).sum();
         ctx.push_mask(wmask);
         ctx.ctrl_ops(1);
@@ -577,7 +572,9 @@ fn walk_lockstep(
         // ---- visited check / insert (per-lane probe, lockstep rounds) ----
         let mut vslot: Lanes<u64> = [0; WARP];
         for &l in &walking {
-            vslot[l] = hash_kmer(&cur[l].expect("walking lane has kmer")) % lanes[l].vis_slots;
+            if let Some(km) = &cur[l] {
+                vslot[l] = hash_kmer(km) % lanes[l].vis_slots;
+            }
         }
         ctx.int_ops(6 * max_k.div_ceil(32) as u64 + 2);
         let mut vis_pending: Vec<usize> = walking.clone();
@@ -585,12 +582,10 @@ fn walk_lockstep(
         while !vis_pending.is_empty() {
             ctx.push_mask(vis_pending.iter().map(|&l| 1u32 << l).sum());
             ctx.ctrl_ops(1);
-            let vaddr = |l: usize| {
-                batch.visited.addr + lanes[l].vis_off + vslot[l] * VIS_ENTRY_WORDS
-            };
-            let flag_addrs = ctx.lanes_from(|l| {
-                vis_pending.contains(&l).then(|| vaddr(l) + VIS_ENTRY_WORDS - 1)
-            });
+            let vaddr =
+                |l: usize| batch.visited.addr + lanes[l].vis_off + vslot[l] * VIS_ENTRY_WORDS;
+            let flag_addrs = ctx
+                .lanes_from(|l| vis_pending.contains(&l).then(|| vaddr(l) + VIS_ENTRY_WORDS - 1));
             let flags = ctx.ld_global(&flag_addrs);
             let mut to_insert: Vec<usize> = Vec::new();
             let mut to_compare: Vec<usize> = Vec::new();
@@ -603,13 +598,13 @@ fn walk_lockstep(
             }
             if !to_insert.is_empty() {
                 for w in 0..VIS_ENTRY_WORDS {
-                    let addrs =
-                        ctx.lanes_from(|l| to_insert.contains(&l).then(|| vaddr(l) + w));
+                    let addrs = ctx.lanes_from(|l| to_insert.contains(&l).then(|| vaddr(l) + w));
                     let vals = ctx.lanes_from(|l| {
                         if !to_insert.contains(&l) {
                             return 0;
                         }
-                        let words = layout::kmer_entry_words(&cur[l].expect("kmer"));
+                        let words =
+                            cur[l].as_ref().map(layout::kmer_entry_words).unwrap_or_default();
                         if w == VIS_ENTRY_WORDS - 1 {
                             layout::vis_tag(words[w as usize], tags[l])
                         } else {
@@ -623,17 +618,17 @@ fn walk_lockstep(
             if !to_compare.is_empty() {
                 let mut same: Lanes<bool> = [true; WARP];
                 for w in 0..VIS_ENTRY_WORDS - 1 {
-                    let addrs =
-                        ctx.lanes_from(|l| to_compare.contains(&l).then(|| vaddr(l) + w));
+                    let addrs = ctx.lanes_from(|l| to_compare.contains(&l).then(|| vaddr(l) + w));
                     let vals = ctx.ld_global(&addrs);
                     for &l in &to_compare {
-                        let words = layout::kmer_entry_words(&cur[l].expect("kmer"));
+                        let words =
+                            cur[l].as_ref().map(layout::kmer_entry_words).unwrap_or_default();
                         same[l] &= vals[l] == words[w as usize];
                     }
                 }
                 ctx.int_ops(VIS_ENTRY_WORDS);
                 for &l in &to_compare {
-                    let words = layout::kmer_entry_words(&cur[l].expect("kmer"));
+                    let words = cur[l].as_ref().map(layout::kmer_entry_words).unwrap_or_default();
                     let tagged = layout::vis_tag(words[VIS_ENTRY_WORDS as usize - 1], tags[l]);
                     if same[l] && flags[l] == tagged {
                         looped.push(l);
@@ -654,7 +649,9 @@ fn walk_lockstep(
         // ---- hash-table lookup (per-lane probe, lockstep, byte compare) ----
         let mut slot: Lanes<u64> = [0; WARP];
         for &l in &walking {
-            slot[l] = hash_kmer(&cur[l].expect("kmer")) % lanes[l].ht_slots;
+            if let Some(km) = &cur[l] {
+                slot[l] = hash_kmer(km) % lanes[l].ht_slots;
+            }
         }
         ctx.int_ops(2);
         let mut probe_pending: Vec<usize> = walking.clone();
@@ -664,8 +661,7 @@ fn walk_lockstep(
         while !probe_pending.is_empty() {
             ctx.push_mask(probe_pending.iter().map(|&l| 1u32 << l).sum());
             ctx.ctrl_ops(1);
-            let eaddr =
-                |l: usize, s: u64| batch.slab.addr + lanes[l].ht_off + s * ENTRY_WORDS;
+            let eaddr = |l: usize, s: u64| batch.slab.addr + lanes[l].ht_off + s * ENTRY_WORDS;
             let key_addrs =
                 ctx.lanes_from(|l| probe_pending.contains(&l).then(|| eaddr(l, slot[l])));
             let keys = ctx.ld_global(&key_addrs);
@@ -721,11 +717,11 @@ fn walk_lockstep(
                     }
                 }
                 if !matched.is_empty() {
-                    let hi_addrs = ctx
-                        .lanes_from(|l| matched.contains(&l).then(|| eaddr(l, slot[l]) + 1));
+                    let hi_addrs =
+                        ctx.lanes_from(|l| matched.contains(&l).then(|| eaddr(l, slot[l]) + 1));
                     let his = ctx.ld_global(&hi_addrs);
-                    let lo_addrs = ctx
-                        .lanes_from(|l| matched.contains(&l).then(|| eaddr(l, slot[l]) + 2));
+                    let lo_addrs =
+                        ctx.lanes_from(|l| matched.contains(&l).then(|| eaddr(l, slot[l]) + 2));
                     let los = ctx.ld_global(&lo_addrs);
                     for &l in &matched {
                         found_counts[l] = Some(ExtCounts::from_hi_lo_words(his[l], los[l]));
@@ -748,7 +744,10 @@ fn walk_lockstep(
         let mut extenders: Vec<(usize, bioseq::Base)> = Vec::new();
         let mut ended: Vec<usize> = Vec::new();
         for &l in &walking {
-            match found_counts[l].expect("matched lane has counts").classify(params.min_viable) {
+            // A lane that somehow lost its counts dead-ends conservatively.
+            let verdict =
+                found_counts[l].map_or(ExtVerdict::DeadEnd, |c| c.classify(params.min_viable));
+            match verdict {
                 ExtVerdict::Extend(b) => extenders.push((l, b)),
                 ExtVerdict::DeadEnd => {
                     walk_state[l] = WalkState::DeadEnd;
@@ -762,16 +761,10 @@ fn walk_lockstep(
         }
         if !extenders.is_empty() {
             let offs = ctx.lanes_from(|l| {
-                extenders
-                    .iter()
-                    .find(|(el, _)| *el == l)
-                    .map(|_| lanes[l].work_len as u64)
+                extenders.iter().find(|(el, _)| *el == l).map(|_| lanes[l].work_len as u64)
             });
             let vals = ctx.lanes_from(|l| {
-                extenders
-                    .iter()
-                    .find(|(el, _)| *el == l)
-                    .map_or(0, |(_, b)| u64::from(b.code()))
+                extenders.iter().find(|(el, _)| *el == l).map_or(0, |(_, b)| u64::from(b.code()))
             });
             ctx.st_local(&offs, &vals);
             ctx.int_ops(2 * max_k.div_ceil(32) as u64);
@@ -779,7 +772,7 @@ fn walk_lockstep(
                 lanes[*l].work_len += 1;
                 lanes[*l].appended_total += 1;
                 appended[*l] += 1;
-                cur[*l] = Some(cur[*l].expect("kmer").shift_right(*b));
+                cur[*l] = cur[*l].map(|km| km.shift_right(*b));
                 steps[*l] += 1;
             }
         }

@@ -66,7 +66,7 @@ pub const MAX_DEVICE_K: usize = 120;
 /// Panic unless `k` fits the device formats.
 pub fn assert_k_supported(k: usize) {
     assert!(
-        k >= 1 && k <= MAX_DEVICE_K,
+        (1..=MAX_DEVICE_K).contains(&k),
         "device layout supports 1 <= k <= {MAX_DEVICE_K}, got {k}"
     );
 }

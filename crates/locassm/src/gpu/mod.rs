@@ -18,6 +18,6 @@ pub mod layout;
 pub mod multi;
 pub mod pack;
 
-pub use engine::{GpuLocalAssembler, GpuRunStats};
+pub use engine::{GpuLocalAssembler, GpuRunStats, RecoveryPolicy, RecoveryStats};
 pub use kernel::KernelVersion;
 pub use multi::{MultiGpuAssembler, MultiGpuStats};

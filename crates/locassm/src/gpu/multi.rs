@@ -6,22 +6,29 @@
 //! story of Figures 13/14 is about — fewer tasks per device means worse
 //! load balance and a larger overhead share.
 
-use crate::gpu::engine::{GpuLocalAssembler, GpuRunStats};
+use crate::cpu::extend_all_cpu_isolated;
+use crate::gpu::engine::{GpuLocalAssembler, GpuRunStats, RecoveryPolicy};
 use crate::gpu::kernel::KernelVersion;
 use crate::params::LocalAssemblyParams;
-use crate::task::{ExtResult, ExtTask};
+use crate::task::{ExtResult, ExtTask, TaskOutcome};
 use gpusim::DeviceConfig;
 use rayon::prelude::*;
 
 /// Node-level statistics.
 #[derive(Debug, Clone)]
 pub struct MultiGpuStats {
-    /// Per-device run stats, index = device id.
+    /// Per-device run stats, index = device id (redistribution rounds are
+    /// folded into the device that absorbed the work).
     pub per_device: Vec<GpuRunStats>,
     /// Simulated node-level local-assembly time (max over devices).
     pub makespan_s: f64,
     /// Sum of device seconds (the work a single device would need).
     pub total_device_s: f64,
+    /// Devices whose shard was lost (engine panic or device abandoned
+    /// after exhausting its reset budget).
+    pub lost_devices: usize,
+    /// Tasks re-run on a surviving device (or the CPU) after shard loss.
+    pub redistributed_tasks: usize,
 }
 
 impl MultiGpuStats {
@@ -36,10 +43,19 @@ impl MultiGpuStats {
 
 /// A fixed array of simulated GPUs fed by striped task assignment.
 pub struct MultiGpuAssembler {
-    config: DeviceConfig,
+    configs: Vec<DeviceConfig>,
     params: LocalAssemblyParams,
     version: KernelVersion,
-    n_devices: usize,
+}
+
+/// Result of one device shard in round 1.
+// One value per device shard; boxing the large variant buys nothing.
+#[allow(clippy::large_enum_variant)]
+enum ShardRun {
+    /// The engine finished (possibly with per-task failures to reschedule).
+    Finished { idx: Vec<usize>, outcomes: Vec<TaskOutcome>, stats: GpuRunStats },
+    /// The engine panicked: the whole shard is lost.
+    Lost { idx: Vec<usize> },
 }
 
 impl MultiGpuAssembler {
@@ -51,49 +67,146 @@ impl MultiGpuAssembler {
         n_devices: usize,
     ) -> MultiGpuAssembler {
         assert!(n_devices >= 1, "need at least one device");
-        MultiGpuAssembler { config, params, version, n_devices }
+        MultiGpuAssembler { configs: vec![config; n_devices], params, version }
+    }
+
+    /// Heterogeneous node: one explicit configuration per device (e.g.
+    /// distinct fault plans for resilience testing).
+    pub fn with_device_configs(
+        configs: Vec<DeviceConfig>,
+        params: LocalAssemblyParams,
+        version: KernelVersion,
+    ) -> MultiGpuAssembler {
+        assert!(!configs.is_empty(), "need at least one device");
+        MultiGpuAssembler { configs, params, version }
+    }
+
+    fn n_devices(&self) -> usize {
+        self.configs.len()
     }
 
     /// Extend all tasks; results are index-aligned with the input.
     ///
     /// Tasks are striped round-robin so heavy (bin-3) tasks spread across
-    /// devices — the static analogue of MetaHipMer2's rank↔GPU mapping.
+    /// devices — the static analogue of MetaHipMer2's rank↔GPU mapping. A
+    /// dead device (engine panic, or reset budget exhausted) is treated as
+    /// shard loss: its unfinished tasks are redistributed across the
+    /// surviving devices, and across the CPU if none survive.
     pub fn extend_tasks(&self, tasks: &[ExtTask]) -> (Vec<ExtResult>, MultiGpuStats) {
+        let n_devices = self.n_devices();
         // Stripe task indices.
-        let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); self.n_devices];
+        let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); n_devices];
         for (i, _) in tasks.iter().enumerate() {
-            assignment[i % self.n_devices].push(i);
+            assignment[i % n_devices].push(i);
         }
 
-        // Run each device concurrently (host-side parallelism; each device
-        // is an independent simulator).
-        let outcomes: Vec<(Vec<usize>, Vec<ExtResult>, GpuRunStats)> = assignment
+        // Round 1: run each device concurrently (host-side parallelism;
+        // each device is an independent simulator). Devices do NOT fall
+        // back to the CPU themselves — failed tasks come back as
+        // `Failed` so this dispatcher can reschedule them on peers.
+        let no_fallback = RecoveryPolicy { cpu_fallback: false, ..RecoveryPolicy::default() };
+        let shards: Vec<(Vec<usize>, DeviceConfig)> =
+            assignment.into_iter().zip(self.configs.iter().cloned()).collect();
+        let shard_runs: Vec<ShardRun> = shards
             .into_par_iter()
-            .map(|idx| {
+            .map(|(idx, config)| {
                 let my_tasks: Vec<ExtTask> = idx.iter().map(|&i| tasks[i].clone()).collect();
-                let mut engine = GpuLocalAssembler::new(
-                    self.config.clone(),
-                    self.params.clone(),
-                    self.version,
-                );
-                let (results, stats) = engine.extend_tasks(&my_tasks);
-                (idx, results, stats)
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut engine =
+                        GpuLocalAssembler::new(config, self.params.clone(), self.version)
+                            .with_recovery_policy(no_fallback.clone());
+                    engine.extend_tasks_outcomes(&my_tasks)
+                }));
+                match run {
+                    Ok((outcomes, stats)) => ShardRun::Finished { idx, outcomes, stats },
+                    Err(_panic) => ShardRun::Lost { idx },
+                }
             })
             .collect();
 
         let mut results: Vec<Option<ExtResult>> = vec![None; tasks.len()];
-        let mut per_device = Vec::with_capacity(self.n_devices);
-        for (idx, device_results, stats) in outcomes {
-            for (&i, r) in idx.iter().zip(device_results) {
-                results[i] = Some(r);
+        let mut per_device: Vec<GpuRunStats> = Vec::with_capacity(n_devices);
+        let mut retry: Vec<usize> = Vec::new();
+        let mut alive: Vec<usize> = Vec::new(); // surviving device ids
+        let mut lost_devices = 0usize;
+        for (dev_id, run) in shard_runs.into_iter().enumerate() {
+            match run {
+                ShardRun::Finished { idx, outcomes, stats } => {
+                    if stats.recovery.device_lost {
+                        lost_devices += 1;
+                    } else {
+                        alive.push(dev_id);
+                    }
+                    for (&i, outcome) in idx.iter().zip(outcomes) {
+                        match outcome {
+                            TaskOutcome::Done(r) => results[i] = Some(r),
+                            TaskOutcome::Failed { .. } => retry.push(i),
+                        }
+                    }
+                    per_device.push(stats);
+                }
+                ShardRun::Lost { idx } => {
+                    lost_devices += 1;
+                    retry.extend(idx);
+                    per_device.push(GpuRunStats::default());
+                }
             }
-            per_device.push(stats);
         }
+
+        // Round 2: redistribute lost work across surviving devices (fresh
+        // engines on the survivors' configurations — their fault plans, if
+        // any, re-arm, so this round uses CPU fallback as the final rung).
+        let redistributed_tasks = retry.len();
+        if !retry.is_empty() {
+            if alive.is_empty() {
+                // No devices left: the whole retry set runs on the CPU.
+                let retry_tasks: Vec<ExtTask> = retry.iter().map(|&i| tasks[i].clone()).collect();
+                for (&i, outcome) in
+                    retry.iter().zip(extend_all_cpu_isolated(&retry_tasks, &self.params))
+                {
+                    results[i] = Some(outcome.into_result());
+                }
+            } else {
+                let mut restripe: Vec<Vec<usize>> = vec![Vec::new(); alive.len()];
+                for (j, &i) in retry.iter().enumerate() {
+                    restripe[j % alive.len()].push(i);
+                }
+                let restripe: Vec<(Vec<usize>, usize)> =
+                    restripe.into_iter().zip(alive.iter().copied()).collect();
+                let round2: Vec<(usize, Vec<usize>, Vec<TaskOutcome>, GpuRunStats)> = restripe
+                    .into_par_iter()
+                    .map(|(idx, dev_id)| {
+                        let my_tasks: Vec<ExtTask> =
+                            idx.iter().map(|&i| tasks[i].clone()).collect();
+                        let mut engine = GpuLocalAssembler::new(
+                            self.configs[dev_id].clone(),
+                            self.params.clone(),
+                            self.version,
+                        );
+                        let (outcomes, stats) = engine.extend_tasks_outcomes(&my_tasks);
+                        (dev_id, idx, outcomes, stats)
+                    })
+                    .collect();
+                for (dev_id, idx, outcomes, stats) in round2 {
+                    per_device[dev_id].absorb(&stats);
+                    for (&i, outcome) in idx.iter().zip(outcomes) {
+                        results[i] = Some(outcome.into_result());
+                    }
+                }
+            }
+        }
+
         let makespan_s = per_device.iter().map(|s| s.seconds).fold(0.0, f64::max);
         let total_device_s = per_device.iter().map(|s| s.seconds).sum();
         (
-            results.into_iter().map(|r| r.expect("all assigned")).collect(),
-            MultiGpuStats { per_device, makespan_s, total_device_s },
+            results.into_iter().map(|r| r.unwrap_or_else(ExtResult::empty)).collect(),
+            MultiGpuStats {
+                per_device,
+                makespan_s,
+                total_device_s,
+                lost_devices,
+                redistributed_tasks,
+            },
         )
     }
 }
@@ -109,9 +222,7 @@ mod tests {
 
     fn random_seq(len: usize, sd: u64) -> DnaSeq {
         let mut rng = StdRng::seed_from_u64(sd);
-        (0..len)
-            .map(|_| bioseq::Base::from_code(rng.gen_range(0..4)))
-            .collect()
+        (0..len).map(|_| bioseq::Base::from_code(rng.gen_range(0..4))).collect()
     }
 
     fn make_tasks(n: usize) -> Vec<ExtTask> {
@@ -127,12 +238,7 @@ mod tests {
                         )
                     })
                     .collect();
-                ExtTask {
-                    contig: i,
-                    end: ContigEnd::Right,
-                    tail: genome.subseq(0, 120),
-                    reads,
-                }
+                ExtTask { contig: i, end: ContigEnd::Right, tail: genome.subseq(0, 120), reads }
             })
             .collect()
     }
@@ -163,18 +269,10 @@ mod tests {
         // binding constraint for this test.
         let tasks = make_tasks(48);
         let params = LocalAssemblyParams::for_tests();
-        let one = MultiGpuAssembler::new(
-            DeviceConfig::tiny(),
-            params.clone(),
-            KernelVersion::V2,
-            1,
-        );
-        let six = MultiGpuAssembler::new(
-            DeviceConfig::tiny(),
-            params.clone(),
-            KernelVersion::V2,
-            6,
-        );
+        let one =
+            MultiGpuAssembler::new(DeviceConfig::tiny(), params.clone(), KernelVersion::V2, 1);
+        let six =
+            MultiGpuAssembler::new(DeviceConfig::tiny(), params.clone(), KernelVersion::V2, 6);
         let (_, s1) = one.extend_tasks(&tasks);
         let (_, s6) = six.extend_tasks(&tasks);
         assert!(
@@ -195,31 +293,73 @@ mod tests {
         let params = LocalAssemblyParams::for_tests();
         let eff = |n_tasks: usize| {
             let tasks = make_tasks(n_tasks);
-            let multi = MultiGpuAssembler::new(
-                DeviceConfig::v100(),
-                params.clone(),
-                KernelVersion::V2,
-                6,
-            );
+            let multi =
+                MultiGpuAssembler::new(DeviceConfig::v100(), params.clone(), KernelVersion::V2, 6);
             let (_, stats) = multi.extend_tasks(&tasks);
             // Overhead share: launch overheads over total simulated time.
-            let overhead: f64 = stats.per_device.len() as f64
-                * DeviceConfig::v100().launch_overhead_us
-                * 1e-6;
+            let overhead: f64 =
+                stats.per_device.len() as f64 * DeviceConfig::v100().launch_overhead_us * 1e-6;
             // (per-device launch overhead is fixed; work shrinks with n_tasks)
             overhead / stats.total_device_s.max(1e-12)
         };
-        assert!(
-            eff(6) > eff(60),
-            "overhead share must grow as per-node work shrinks"
+        assert!(eff(6) > eff(60), "overhead share must grow as per-node work shrinks");
+    }
+
+    #[test]
+    fn faulty_device_tasks_redistributed() {
+        use gpusim::{Fault, FaultPlan};
+        let tasks = make_tasks(20);
+        let params = LocalAssemblyParams::for_tests();
+        let cpu = extend_all_cpu(&tasks, &params);
+        // Device 0 hangs on every launch and exhausts its reset budget;
+        // device 1 is healthy. The dispatcher must declare device 0 lost
+        // and re-run its shard on device 1, with identical final output.
+        let storm = FaultPlan {
+            faults: (0..64)
+                .map(|i| Fault::KernelHang { at_launch: i, after_cycles: 100 })
+                .collect(),
+        };
+        let multi = MultiGpuAssembler::with_device_configs(
+            vec![DeviceConfig::v100().with_fault_plan(storm), DeviceConfig::v100()],
+            params,
+            KernelVersion::V2,
         );
+        let (results, stats) = multi.extend_tasks(&tasks);
+        assert_eq!(results, cpu, "redistribution must not change results");
+        assert_eq!(stats.lost_devices, 1);
+        assert!(stats.redistributed_tasks > 0);
+        assert_eq!(stats.per_device.len(), 2);
+    }
+
+    #[test]
+    fn all_devices_lost_falls_back_to_cpu() {
+        use gpusim::{Fault, FaultPlan};
+        let tasks = make_tasks(12);
+        let params = LocalAssemblyParams::for_tests();
+        let cpu = extend_all_cpu(&tasks, &params);
+        let storm = || FaultPlan {
+            faults: (0..64)
+                .map(|i| Fault::KernelHang { at_launch: i, after_cycles: 100 })
+                .collect(),
+        };
+        let multi = MultiGpuAssembler::with_device_configs(
+            vec![
+                DeviceConfig::v100().with_fault_plan(storm()),
+                DeviceConfig::v100().with_fault_plan(storm()),
+            ],
+            params,
+            KernelVersion::V2,
+        );
+        let (results, stats) = multi.extend_tasks(&tasks);
+        assert_eq!(results, cpu, "host CPU is the last rung of the ladder");
+        assert_eq!(stats.lost_devices, 2);
+        assert!(stats.redistributed_tasks > 0);
     }
 
     #[test]
     fn empty_task_list() {
         let params = LocalAssemblyParams::for_tests();
-        let multi =
-            MultiGpuAssembler::new(DeviceConfig::v100(), params, KernelVersion::V2, 4);
+        let multi = MultiGpuAssembler::new(DeviceConfig::v100(), params, KernelVersion::V2, 4);
         let (results, stats) = multi.extend_tasks(&[]);
         assert!(results.is_empty());
         assert_eq!(stats.makespan_s, 0.0);

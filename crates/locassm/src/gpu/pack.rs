@@ -10,7 +10,7 @@ use crate::gpu::layout::{self, EXT_META_WORDS, READ_META_WORDS};
 use crate::params::LocalAssemblyParams;
 use crate::task::ExtTask;
 use bioseq::PackedSeq;
-use gpusim::{Buf, Device};
+use gpusim::{Buf, Device, DeviceOom};
 use kmer::QUAL_TIER_CUTOFF;
 
 /// A packed batch resident in device memory.
@@ -60,9 +60,15 @@ pub fn estimate_task_words(task: &ExtTask, params: &LocalAssemblyParams) -> u64 
         + layout::out_stride(params.max_total_extension)
 }
 
-/// Pack a batch of tasks onto the device. Panics on OOM — callers batch
-/// with [`estimate_task_words`] against the device budget first.
-pub fn pack_batch(dev: &mut Device, tasks: &[&ExtTask], params: &LocalAssemblyParams) -> GpuBatch {
+/// Pack a batch of tasks onto the device. Callers batch with
+/// [`estimate_task_words`] against the device budget first; an OOM anyway
+/// (estimate drift, or an injected allocation fault) is returned so the
+/// caller can shrink the batch and retry.
+pub fn pack_batch(
+    dev: &mut Device,
+    tasks: &[&ExtTask],
+    params: &LocalAssemblyParams,
+) -> Result<GpuBatch, DeviceOom> {
     let n_exts = tasks.len();
     let vis_slots = layout::vis_slots_for(params.max_walk_len);
     let out_stride = layout::out_stride(params.max_total_extension);
@@ -117,17 +123,14 @@ pub fn pack_batch(dev: &mut Device, tasks: &[&ExtTask], params: &LocalAssemblyPa
         ]);
     }
 
-    let alloc = |dev: &mut Device, words: u64| {
-        dev.alloc(words.max(1)).expect("device OOM: batch exceeded budget")
-    };
-    let reads_bases = alloc(dev, bases_words.len() as u64);
-    let reads_quals = alloc(dev, qual_words.len() as u64);
-    let read_meta_buf = alloc(dev, read_meta.len() as u64);
-    let ext_meta_buf = alloc(dev, ext_meta.len() as u64);
-    let tails = alloc(dev, tail_words.len() as u64);
-    let slab = alloc(dev, ht_cursor.max(1));
-    let visited = alloc(dev, n_exts as u64 * vis_slots * layout::VIS_ENTRY_WORDS);
-    let out = alloc(dev, n_exts as u64 * out_stride);
+    let reads_bases = dev.alloc((bases_words.len() as u64).max(1))?;
+    let reads_quals = dev.alloc((qual_words.len() as u64).max(1))?;
+    let read_meta_buf = dev.alloc((read_meta.len() as u64).max(1))?;
+    let ext_meta_buf = dev.alloc((ext_meta.len() as u64).max(1))?;
+    let tails = dev.alloc((tail_words.len() as u64).max(1))?;
+    let slab = dev.alloc(ht_cursor.max(1))?;
+    let visited = dev.alloc((n_exts as u64 * vis_slots * layout::VIS_ENTRY_WORDS).max(1))?;
+    let out = dev.alloc((n_exts as u64 * out_stride).max(1))?;
 
     dev.h2d(reads_bases, 0, &bases_words);
     dev.h2d(reads_quals, 0, &qual_words);
@@ -135,7 +138,7 @@ pub fn pack_batch(dev: &mut Device, tasks: &[&ExtTask], params: &LocalAssemblyPa
     dev.h2d(ext_meta_buf, 0, &ext_meta);
     dev.h2d(tails, 0, &tail_words);
 
-    GpuBatch {
+    Ok(GpuBatch {
         n_exts,
         reads_bases,
         reads_quals,
@@ -148,7 +151,7 @@ pub fn pack_batch(dev: &mut Device, tasks: &[&ExtTask], params: &LocalAssemblyPa
         out_stride,
         window,
         total_ht_slots: ht_cursor / layout::ENTRY_WORDS,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -182,7 +185,7 @@ mod tests {
         let params = LocalAssemblyParams::for_tests();
         let t1 = mk_task("ACGTACGTACGTACGTACGT", &["ACGTACGTACGTACGTA", "TTTTGGGGCCCCAAAA"]);
         let t2 = mk_task("TTTTGGGGCCCCAAAATTTT", &["GGGGCCCCAAAATTTTCC"]);
-        let batch = pack_batch(&mut dev, &[&t1, &t2], &params);
+        let batch = pack_batch(&mut dev, &[&t1, &t2], &params).expect("fits");
 
         assert_eq!(batch.n_exts, 2);
         // ext 0 meta
@@ -191,7 +194,7 @@ mod tests {
         assert_eq!(m0[1], 2); // n reads
         assert_eq!(m0[3], (17 + 16) as u64); // ht slots = sum of lens
         assert_eq!(m0[7], 20); // tail len
-        // ext 1 meta
+                               // ext 1 meta
         let m1 = dev.d2h(batch.ext_meta, EXT_META_WORDS, EXT_META_WORDS);
         assert_eq!(m1[0], 2);
         assert_eq!(m1[1], 1);
@@ -203,7 +206,7 @@ mod tests {
         let mut dev = Device::new(DeviceConfig::tiny());
         let params = LocalAssemblyParams::for_tests();
         let t = mk_task("ACGTACGTACGTACGTACGT", &["ACGGTTCAAGTACCGGTTAA"]);
-        let batch = pack_batch(&mut dev, &[&t], &params);
+        let batch = pack_batch(&mut dev, &[&t], &params).expect("fits");
         let rm = dev.d2h(batch.read_meta, 0, READ_META_WORDS);
         let (bases_start, len) = (rm[0], rm[2] as usize);
         let words = dev.d2h(batch.reads_bases, bases_start, (len as u64).div_ceil(32));
@@ -216,7 +219,7 @@ mod tests {
         let mut dev = Device::new(DeviceConfig::tiny());
         let params = LocalAssemblyParams::for_tests();
         let t = mk_task("ACGTACGTACGTACGTACGT", &["ACGGTTCAAGTACCGG"]);
-        let batch = pack_batch(&mut dev, &[&t], &params);
+        let batch = pack_batch(&mut dev, &[&t], &params).expect("fits");
         let rm = dev.d2h(batch.read_meta, 0, READ_META_WORDS);
         let qw = dev.d2h(batch.reads_quals, rm[1], 1)[0];
         for (i, &q) in t.reads[0].quals.iter().enumerate() {
@@ -232,11 +235,8 @@ mod tests {
         let t = mk_task("ACGTACGTACGTACGTACGT", &["ACGTACGTACGTACGTA", "TTTTGGGGCCCCAAAA"]);
         let est = estimate_task_words(&t, &params);
         let before = dev.mem_used_words();
-        pack_batch(&mut dev, &[&t], &params);
+        pack_batch(&mut dev, &[&t], &params).expect("fits");
         let actual = dev.mem_used_words() - before;
-        assert!(
-            est >= actual.saturating_sub(8),
-            "estimate {est} must cover actual {actual}"
-        );
+        assert!(est >= actual.saturating_sub(8), "estimate {est} must cover actual {actual}");
     }
 }

@@ -28,6 +28,14 @@
 //! Both engines produce *identical extensions* for identical input — the
 //! integration tests enforce this — so the pipeline can switch between them
 //! freely, exactly as MetaHipMer2 does with `--ranks-per-gpu`.
+//!
+//! Device faults (injected via [`gpusim::FaultPlan`] or genuine OOM) are
+//! absorbed by a recovery ladder — retry → shrink batch → reset device with
+//! backoff → per-task CPU fallback → skip — configured by
+//! [`gpu::RecoveryPolicy`] and reported in [`gpu::RecoveryStats`]; see
+//! `DESIGN.md` §"Fault model & recovery ladder".
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod binning;
 pub mod cpu;
@@ -38,8 +46,8 @@ pub mod summary;
 pub mod task;
 
 pub use binning::{bin_tasks, Bin, BinStats};
-pub use cpu::{extend_all_cpu, extend_end_cpu};
-pub use driver::{OverlapDriver, OverlapOutcome};
+pub use cpu::{extend_all_cpu, extend_all_cpu_isolated, extend_end_cpu};
+pub use driver::{DriverError, OverlapDriver, OverlapOutcome};
 pub use params::{KShift, LocalAssemblyParams, ShiftDir, WalkState};
 pub use summary::{summarize, ExtSummary};
-pub use task::{apply_extensions, make_tasks, ContigEnd, ExtResult, ExtTask};
+pub use task::{apply_extensions, make_tasks, ContigEnd, ExtResult, ExtTask, TaskOutcome};

@@ -74,14 +74,16 @@ impl WalkState {
         }
     }
 
-    /// Decode from device memory; panics on invalid encoding.
-    pub fn from_u64(v: u64) -> WalkState {
+    /// Decode from device memory. `None` on an invalid encoding — the
+    /// caller treats that as detected device-memory corruption rather than
+    /// aborting.
+    pub fn from_u64(v: u64) -> Option<WalkState> {
         match v {
-            0 => WalkState::DeadEnd,
-            1 => WalkState::Fork,
-            2 => WalkState::Loop,
-            3 => WalkState::MaxLen,
-            _ => panic!("invalid WalkState encoding {v}"),
+            0 => Some(WalkState::DeadEnd),
+            1 => Some(WalkState::Fork),
+            2 => Some(WalkState::Loop),
+            3 => Some(WalkState::MaxLen),
+            _ => None,
         }
     }
 }
@@ -216,8 +218,9 @@ mod tests {
     #[test]
     fn walkstate_codec_round_trips() {
         for s in [WalkState::DeadEnd, WalkState::Fork, WalkState::Loop, WalkState::MaxLen] {
-            assert_eq!(WalkState::from_u64(s.to_u64()), s);
+            assert_eq!(WalkState::from_u64(s.to_u64()), Some(s));
         }
+        assert_eq!(WalkState::from_u64(7), None, "corrupt encoding is detected");
     }
 
     #[test]

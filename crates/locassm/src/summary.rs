@@ -58,12 +58,7 @@ impl ExtSummary {
         if self.tasks == 0 {
             return 0.0;
         }
-        let total: usize = self
-            .iterations_hist
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| i * c)
-            .sum();
+        let total: usize = self.iterations_hist.iter().enumerate().map(|(i, &c)| i * c).sum();
         total as f64 / self.tasks as f64
     }
 

@@ -46,11 +46,43 @@ pub struct ExtResult {
 impl ExtResult {
     /// A no-op result (zero-read tasks are returned unextended — bin 1).
     pub fn empty() -> ExtResult {
-        ExtResult {
-            appended: DnaSeq::new(),
-            final_state: WalkState::DeadEnd,
-            iterations: 0,
+        ExtResult { appended: DnaSeq::new(), final_state: WalkState::DeadEnd, iterations: 0 }
+    }
+}
+
+/// Per-task outcome after the recovery ladder (retry → shrink → reset →
+/// fallback). A failed task is *skipped* — its contig keeps its current
+/// sequence — never aborted with it the whole bin.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskOutcome {
+    /// The task completed (on the device or via CPU fallback).
+    Done(ExtResult),
+    /// The task failed everywhere it was tried; it contributes no bases.
+    Failed { contig: usize, reason: String },
+}
+
+impl TaskOutcome {
+    /// Collapse to an [`ExtResult`]: a failed task appends nothing.
+    pub fn into_result(self) -> ExtResult {
+        match self {
+            TaskOutcome::Done(r) => r,
+            TaskOutcome::Failed { .. } => ExtResult::empty(),
         }
+    }
+
+    pub fn is_failed(&self) -> bool {
+        matches!(self, TaskOutcome::Failed { .. })
+    }
+}
+
+/// Render a panic payload for a [`TaskOutcome::Failed`] reason.
+pub(crate) fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked".to_string()
     }
 }
 
@@ -159,10 +191,9 @@ mod tests {
     fn tail_window_clips_long_contigs() {
         let params = LocalAssemblyParams::for_tests();
         let window = params.k_max() + params.max_total_extension;
-        let long: DnaSeq = (0..window + 500)
-            .map(|i| bioseq::Base::from_code((i % 4) as u8))
-            .collect();
-        let tasks = make_tasks(&[long.clone()], &[(vec![], vec![])], &params);
+        let long: DnaSeq =
+            (0..window + 500).map(|i| bioseq::Base::from_code((i % 4) as u8)).collect();
+        let tasks = make_tasks(std::slice::from_ref(&long), &[(vec![], vec![])], &params);
         assert_eq!(tasks[0].tail.len(), window);
         assert_eq!(tasks[0].tail, long.subseq(long.len() - window, window));
     }

@@ -9,7 +9,7 @@
 
 use crate::iterative::{default_schedule, run_iterative};
 use crate::pipeline::{run_pipeline, EngineChoice, PipelineConfig};
-use crate::report::render_breakdown;
+use crate::report::{render_breakdown, render_recovery};
 use crate::stats::{evaluate_against_refs, AssemblyStats};
 use bioseq::fastq::{self, NPolicy};
 use bioseq::DnaSeq;
@@ -44,9 +44,8 @@ impl CliArgs {
         let mut i = 0;
         while i < rest.len() {
             let tok = rest[i];
-            let key = tok
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, got {tok}"))?;
+            let key =
+                tok.strip_prefix("--").ok_or_else(|| format!("expected --flag, got {tok}"))?;
             if i + 1 < rest.len() && !rest[i + 1].starts_with("--") {
                 flags.insert(key.to_string(), rest[i + 1].clone());
                 i += 2;
@@ -121,10 +120,7 @@ pub fn run_simulate(cli: &CliArgs) -> Result<String, String> {
     let r2: Vec<bioseq::Read> = pairs.iter().map(|p| p.r2.clone()).collect();
     write_fastq_file(&out.join("reads_1.fastq"), &r1)?;
     write_fastq_file(&out.join("reads_2.fastq"), &r2)?;
-    let refs = community
-        .genomes
-        .iter()
-        .map(|g| (g.id.clone(), g.seq.clone()));
+    let refs = community.genomes.iter().map(|g| (g.id.clone(), g.seq.clone()));
     let f = File::create(out.join("refs.fasta")).map_err(|e| e.to_string())?;
     fastq::write_fasta(BufWriter::new(f), refs, 80).map_err(|e| e.to_string())?;
 
@@ -144,12 +140,13 @@ pub fn run_assemble(cli: &CliArgs) -> Result<String, String> {
     let out = PathBuf::from(cli.require("out")?);
     std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
 
-    let r1 = read_fastq_file(Path::new(r1_path))?;
-    let r2 = read_fastq_file(Path::new(r2_path))?;
+    let (r1, r1_stats) = read_fastq_file(Path::new(r1_path))?;
+    let (r2, r2_stats) = read_fastq_file(Path::new(r2_path))?;
+    let ingest_malformed = r1_stats.skipped_malformed + r2_stats.skipped_malformed;
+    let ingest_ambiguous = r1_stats.dropped_ambiguous + r2_stats.dropped_ambiguous;
     let pairs = fastq::pair_up(r1, r2).map_err(|e| e.to_string())?;
 
-    let mut cfg = PipelineConfig::default();
-    cfg.k = cli.get_num("k", 31)?;
+    let mut cfg = PipelineConfig { k: cli.get_num("k", 31)?, ..Default::default() };
     if cli.has("gpu") || cli.get("kernel").is_some() {
         let version = match cli.get("kernel").unwrap_or("v2") {
             "v1" => KernelVersion::V1,
@@ -176,8 +173,17 @@ pub fn run_assemble(cli: &CliArgs) -> Result<String, String> {
             result.scaffolds.iter().map(|s| s.render(&result.contigs)).collect();
         (result.contigs, seqs)
     } else {
-        let result = run_pipeline(&pairs, &cfg);
+        let mut result = run_pipeline(&pairs, &cfg).map_err(|e| e.to_string())?;
+        result.stats.merge.malformed_skipped = ingest_malformed;
+        result.stats.merge.ambiguous_dropped = ingest_ambiguous;
+        if ingest_malformed > 0 {
+            report
+                .push_str(&format!("ingest: skipped {ingest_malformed} malformed FASTQ records\n"));
+        }
         report.push_str(&render_breakdown("pipeline", &result.timings));
+        if result.degraded() {
+            report.push_str(&render_recovery(&result.stats));
+        }
         let seqs: Vec<DnaSeq> =
             result.scaffolds.iter().map(|s| s.render(&result.contigs)).collect();
         (result.contigs, seqs)
@@ -190,8 +196,8 @@ pub fn run_assemble(cli: &CliArgs) -> Result<String, String> {
 
     if let Some(refs_path) = cli.get("refs") {
         let f = File::open(refs_path).map_err(|e| e.to_string())?;
-        let (refs, _) = fastq::parse_fasta(BufReader::new(f), NPolicy::Drop)
-            .map_err(|e| e.to_string())?;
+        let (refs, _) =
+            fastq::parse_fasta(BufReader::new(f), NPolicy::Drop).map_err(|e| e.to_string())?;
         let ref_seqs: Vec<DnaSeq> = refs.into_iter().map(|(_, s)| s).collect();
         let eval = evaluate_against_refs(&contigs, &ref_seqs, 31.min(cfg.k));
         report.push_str(&format!(
@@ -227,14 +233,24 @@ fn write_fastq_file(path: &Path, reads: &[bioseq::Read]) -> Result<(), String> {
     w.flush().map_err(|e| e.to_string())
 }
 
-fn read_fastq_file(path: &Path) -> Result<Vec<bioseq::Read>, String> {
+fn read_fastq_file(path: &Path) -> Result<(Vec<bioseq::Read>, fastq::FastqParseStats), String> {
     let f = File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let (reads, dropped) =
-        fastq::parse_fastq(BufReader::new(f), NPolicy::Drop).map_err(|e| e.to_string())?;
-    if dropped > 0 {
-        eprintln!("note: dropped {dropped} reads with ambiguous bases");
+    // Lenient ingest: a corrupt record is skipped and counted, never fatal
+    // to the whole lane.
+    let (reads, stats) =
+        fastq::parse_fastq_with(BufReader::new(f), NPolicy::Drop, fastq::ParseMode::Lenient)
+            .map_err(|e| e.to_string())?;
+    if stats.dropped_ambiguous > 0 {
+        eprintln!("note: dropped {} reads with ambiguous bases", stats.dropped_ambiguous);
     }
-    Ok(reads)
+    if stats.skipped_malformed > 0 {
+        eprintln!(
+            "note: skipped {} malformed FASTQ records in {}",
+            stats.skipped_malformed,
+            path.display()
+        );
+    }
+    Ok((reads, stats))
 }
 
 #[cfg(test)]
@@ -311,6 +327,33 @@ mod tests {
         let gpu = std::fs::read_to_string(dir.join("asm_gpu/contigs.fasta")).unwrap();
         assert_eq!(cpu, gpu);
 
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn assemble_survives_corrupt_fastq_records() {
+        let dir = std::env::temp_dir().join(format!("mhm2rs_corrupt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_string_lossy().to_string();
+        run(&argv(&format!("simulate --out {out} --preset arctic --scale 0.01")))
+            .expect("simulate");
+
+        // Corrupt one record in each mate file the same way (missing '+'),
+        // so pairing stays aligned and ingest must skip one record per file.
+        for mate in ["reads_1.fastq", "reads_2.fastq"] {
+            let p = dir.join(mate);
+            let txt = std::fs::read_to_string(&p).unwrap();
+            let corrupted = txt.replacen("\n+\n", "\nBROKEN\n", 1);
+            assert_ne!(corrupted, txt, "corruption must apply");
+            std::fs::write(&p, corrupted).unwrap();
+        }
+
+        let report = run(&argv(&format!(
+            "assemble --r1 {out}/reads_1.fastq --r2 {out}/reads_2.fastq --out {out}/asm"
+        )))
+        .expect("assemble must survive corrupt records");
+        assert!(report.contains("skipped 2 malformed FASTQ records"), "{report}");
+        assert!(dir.join("asm/contigs.fasta").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -18,7 +18,7 @@ use bioseq::{DnaSeq, PairedRead, Read};
 use dbg::{count_kmers, generate_contigs, DbgGraph};
 use gpusim::DeviceConfig;
 use locassm::gpu::{GpuLocalAssembler, KernelVersion};
-use locassm::{apply_extensions, extend_all_cpu, make_tasks};
+use locassm::{apply_extensions, extend_all_cpu_isolated, make_tasks, ExtResult, TaskOutcome};
 use std::time::Instant;
 
 /// Per-round statistics.
@@ -97,14 +97,17 @@ pub fn run_iterative(
         let cand_pairs: Vec<(Vec<Read>, Vec<Read>)> =
             cands.into_iter().map(|c| (c.right, c.left)).collect();
         let tasks = make_tasks(&contigs, &cand_pairs, &cfg.locassm);
-        let results = match &cfg.engine {
-            EngineChoice::Cpu => extend_all_cpu(&tasks, &cfg.locassm),
+        // Per-task isolation on both engines: a task that fails every
+        // recovery rung is skipped for this round, never fatal.
+        let outcomes = match &cfg.engine {
+            EngineChoice::Cpu => extend_all_cpu_isolated(&tasks, &cfg.locassm),
             EngineChoice::Gpu { device, version } => {
                 let mut engine =
                     GpuLocalAssembler::new(device.clone(), cfg.locassm.clone(), *version);
-                engine.extend_tasks(&tasks).0
+                engine.extend_tasks_outcomes(&tasks).0
             }
         };
+        let results: Vec<ExtResult> = outcomes.into_iter().map(TaskOutcome::into_result).collect();
         let appended: usize = results.iter().map(|r| r.appended.len()).sum();
         contigs = apply_extensions(&contigs, &tasks, &results);
         timings.add(Phase::LocalAssembly, t.elapsed().as_secs_f64());
@@ -127,10 +130,7 @@ pub fn run_iterative(
 
 /// Default MetaHipMer-style schedule clipped to the observed read length.
 pub fn default_schedule(max_read_len: usize) -> Vec<usize> {
-    [21usize, 33, 55, 77, 99]
-        .into_iter()
-        .filter(|&k| k + 1 < max_read_len)
-        .collect()
+    [21usize, 33, 55, 77, 99].into_iter().filter(|&k| k + 1 < max_read_len).collect()
 }
 
 /// Convenience wrapper for the GPU engine.
@@ -210,11 +210,7 @@ mod tests {
         let result = run_iterative(&pairs, &cfg, &[21, 31]);
         let refs: Vec<DnaSeq> = community.genomes.iter().map(|g| g.seq.clone()).collect();
         let eval = crate::stats::evaluate_against_refs(&result.contigs, &refs, 31);
-        assert!(
-            eval.genome_fraction > 0.7,
-            "genome fraction {:.3}",
-            eval.genome_fraction
-        );
+        assert!(eval.genome_fraction > 0.7, "genome fraction {:.3}", eval.genome_fraction);
         assert!(eval.precision > 0.9, "precision {:.3}", eval.precision);
     }
 

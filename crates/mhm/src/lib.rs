@@ -18,7 +18,10 @@
 //! communication model and the paper-anchored GPU-overhead model, producing
 //! the series behind Figures 2, 12, 13 and 14.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod cli;
+pub mod errors;
 pub mod iterative;
 pub mod merge;
 pub mod pipeline;
@@ -27,11 +30,12 @@ pub mod scaffold;
 pub mod scaling;
 pub mod stats;
 
+pub use errors::{ErrorKind, PipelineError};
+pub use iterative::{run_iterative, IterativeResult};
 pub use merge::{merge_reads, MergeParams, MergeStats};
 pub use pipeline::{
     run_pipeline, EngineChoice, Phase, PhaseTimings, PipelineConfig, PipelineResult,
 };
 pub use scaffold::{scaffold_contigs, Scaffold, ScaffoldParams};
-pub use iterative::{run_iterative, IterativeResult};
 pub use scaling::{PaperAnchors, ScalingModel};
 pub use stats::{evaluate_against_refs, AssemblyStats, RefEval};

@@ -31,6 +31,11 @@ pub struct MergeStats {
     pub pairs_in: usize,
     pub merged: usize,
     pub unmerged: usize,
+    /// Malformed FASTQ records skipped during lenient ingest, upstream of
+    /// pairing (set by I/O front ends; 0 for in-memory pipelines).
+    pub malformed_skipped: usize,
+    /// Records dropped at ingest for ambiguous bases (`NPolicy::Drop`).
+    pub ambiguous_dropped: usize,
 }
 
 /// Try to merge one pair; `None` if no acceptable overlap exists.
@@ -89,8 +94,7 @@ pub fn merge_pair(pair: &PairedRead, params: &MergeParams) -> Option<Read> {
 
 /// Merge all pairs in parallel; unmerged pairs contribute both mates as-is.
 pub fn merge_reads(pairs: &[PairedRead], params: &MergeParams) -> (Vec<Read>, MergeStats) {
-    let results: Vec<Option<Read>> =
-        pairs.par_iter().map(|p| merge_pair(p, params)).collect();
+    let results: Vec<Option<Read>> = pairs.par_iter().map(|p| merge_pair(p, params)).collect();
     let mut reads = Vec::with_capacity(pairs.len() * 2);
     let mut stats = MergeStats { pairs_in: pairs.len(), ..Default::default() };
     for (pair, merged) in pairs.iter().zip(results) {
@@ -181,10 +185,7 @@ mod tests {
     fn merge_reads_keeps_unmerged_mates() {
         let frag_short = seq("ACGGTTCAAGTACCGGTTAAGGCCAATTGG");
         let frag_long = seq("ACGGTTCAAGTACCGGTTAAGGCCAATTGGACGTTGCAGT");
-        let pairs = vec![
-            pair_from_fragment(&frag_short, 20),
-            pair_from_fragment(&frag_long, 15),
-        ];
+        let pairs = vec![pair_from_fragment(&frag_short, 20), pair_from_fragment(&frag_long, 15)];
         let (reads, stats) = merge_reads(&pairs, &test_params());
         assert_eq!(stats.pairs_in, 2);
         assert_eq!(stats.merged, 1);

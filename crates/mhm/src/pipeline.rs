@@ -1,14 +1,18 @@
 //! End-to-end pipeline orchestration with per-phase timing.
 
+use crate::errors::PipelineError;
 use crate::merge::{merge_reads, MergeParams, MergeStats};
 use crate::scaffold::{scaffold_contigs, Scaffold, ScaffoldParams};
-use align::{collect_candidates, CandidateParams, SeedIndex};
 use align::sw::{banded_sw, SwScoring};
+use align::{collect_candidates, CandidateParams, SeedIndex};
 use bioseq::{DnaSeq, PairedRead};
 use dbg::{count_kmers, count_kmers_with_spectrum, generate_contigs, DbgGraph};
 use gpusim::DeviceConfig;
-use locassm::gpu::{GpuLocalAssembler, GpuRunStats, KernelVersion};
-use locassm::{apply_extensions, bin_tasks, extend_all_cpu, make_tasks, summarize, BinStats, ExtSummary, LocalAssemblyParams};
+use locassm::gpu::{GpuLocalAssembler, GpuRunStats, KernelVersion, RecoveryStats};
+use locassm::{
+    apply_extensions, bin_tasks, extend_all_cpu_isolated, make_tasks, summarize, BinStats,
+    ExtResult, ExtSummary, LocalAssemblyParams, TaskOutcome,
+};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -76,10 +80,7 @@ impl PhaseTimings {
 
     /// Seconds recorded for a phase (0 if absent).
     pub fn get(&self, phase: Phase) -> f64 {
-        self.entries
-            .iter()
-            .find(|(p, _)| *p == phase)
-            .map_or(0.0, |(_, s)| *s)
+        self.entries.iter().find(|(p, _)| *p == phase).map_or(0.0, |(_, s)| *s)
     }
 
     /// Replace a phase's time (used when substituting the simulated GPU
@@ -100,10 +101,7 @@ impl PhaseTimings {
     /// `(phase, seconds, fraction)` rows in pipeline order.
     pub fn breakdown(&self) -> Vec<(Phase, f64, f64)> {
         let total = self.total().max(f64::MIN_POSITIVE);
-        Phase::ALL
-            .iter()
-            .map(|&p| (p, self.get(p), self.get(p) / total))
-            .collect()
+        Phase::ALL.iter().map(|&p| (p, self.get(p), self.get(p) / total)).collect()
     }
 }
 
@@ -172,6 +170,15 @@ pub struct PipelineResult {
     pub stats: PipelineStats,
 }
 
+impl PipelineResult {
+    /// Whether local assembly had to exercise any rung of the recovery
+    /// ladder (retry, batch shrink, device reset, CPU fallback, or skip).
+    pub fn degraded(&self) -> bool {
+        self.stats.recovery.as_ref().is_some_and(RecoveryStats::any_recovery)
+            || self.stats.la_failed_tasks > 0
+    }
+}
+
 /// Run statistics.
 #[derive(Debug, Default)]
 pub struct PipelineStats {
@@ -195,12 +202,26 @@ pub struct PipelineStats {
     pub la_gpu_sim_seconds: Option<f64>,
     /// GPU engine run stats (GPU engine only).
     pub gpu: Option<GpuRunStats>,
+    /// Recovery-ladder counters from the GPU engine (GPU engine only);
+    /// all-zero for a fault-free run.
+    pub recovery: Option<RecoveryStats>,
+    /// Tasks skipped after every recovery rung failed (their contigs keep
+    /// their unextended sequence).
+    pub la_failed_tasks: usize,
     pub scaffolds: usize,
     pub fasta_bytes: usize,
 }
 
 /// Run the full pipeline on a set of read pairs.
-pub fn run_pipeline(pairs: &[PairedRead], cfg: &PipelineConfig) -> PipelineResult {
+///
+/// Recoverable device faults (injected or genuine OOM/launch failures) are
+/// absorbed by the local-assembly recovery ladder and reported as counters
+/// in [`PipelineStats::recovery`]; an `Err` means the run could not
+/// produce a result at all.
+pub fn run_pipeline(
+    pairs: &[PairedRead],
+    cfg: &PipelineConfig,
+) -> Result<PipelineResult, PipelineError> {
     let mut timings = PhaseTimings::new();
     let mut stats = PipelineStats { pairs_in: pairs.len(), ..Default::default() };
 
@@ -232,11 +253,8 @@ pub fn run_pipeline(pairs: &[PairedRead], cfg: &PipelineConfig) -> PipelineResul
     let graph = DbgGraph::new(cfg.k, counts);
     let raw_contigs = generate_contigs(&graph, cfg.min_votes);
     stats.contigs_initial = raw_contigs.len();
-    let contigs: Vec<DnaSeq> = raw_contigs
-        .into_iter()
-        .filter(|c| c.len() >= cfg.min_contig_len)
-        .map(|c| c.seq)
-        .collect();
+    let contigs: Vec<DnaSeq> =
+        raw_contigs.into_iter().filter(|c| c.len() >= cfg.min_contig_len).map(|c| c.seq).collect();
     stats.contigs_kept = contigs.len();
     timings.add(Phase::ContigGeneration, t.elapsed().as_secs_f64());
 
@@ -248,8 +266,8 @@ pub fn run_pipeline(pairs: &[PairedRead], cfg: &PipelineConfig) -> PipelineResul
 
     let t = Instant::now();
     if cfg.sw_rescore_frac > 0.0 {
-        let mut budget = (cands.iter().map(|c| c.total()).sum::<usize>() as f64
-            * cfg.sw_rescore_frac) as usize;
+        let mut budget =
+            (cands.iter().map(|c| c.total()).sum::<usize>() as f64 * cfg.sw_rescore_frac) as usize;
         'outer: for (ci, c) in cands.iter().enumerate() {
             for r in c.right.iter().chain(c.left.iter()) {
                 if budget == 0 {
@@ -269,17 +287,22 @@ pub fn run_pipeline(pairs: &[PairedRead], cfg: &PipelineConfig) -> PipelineResul
     stats.tasks = tasks.len();
     stats.bins = bin_tasks(&tasks);
     let t = Instant::now();
-    let results = match &cfg.engine {
-        EngineChoice::Cpu => extend_all_cpu(&tasks, &cfg.locassm),
+    // Either engine yields per-task outcomes: a task that fails every rung
+    // of the recovery ladder is skipped (contig keeps its sequence), never
+    // fatal to the run.
+    let outcomes = match &cfg.engine {
+        EngineChoice::Cpu => extend_all_cpu_isolated(&tasks, &cfg.locassm),
         EngineChoice::Gpu { device, version } => {
-            let mut engine =
-                GpuLocalAssembler::new(device.clone(), cfg.locassm.clone(), *version);
-            let (results, gpu_stats) = engine.extend_tasks(&tasks);
+            let mut engine = GpuLocalAssembler::new(device.clone(), cfg.locassm.clone(), *version);
+            let (outcomes, gpu_stats) = engine.extend_tasks_outcomes(&tasks);
             stats.la_gpu_sim_seconds = Some(gpu_stats.seconds);
+            stats.recovery = Some(gpu_stats.recovery.clone());
             stats.gpu = Some(gpu_stats);
-            results
+            outcomes
         }
     };
+    stats.la_failed_tasks = outcomes.iter().filter(|o| o.is_failed()).count();
+    let results: Vec<ExtResult> = outcomes.into_iter().map(TaskOutcome::into_result).collect();
     stats.la_wall_seconds = t.elapsed().as_secs_f64();
     stats.bases_appended = results.iter().map(|r| r.appended.len()).sum();
     stats.ext_summary = summarize(&results);
@@ -299,21 +322,22 @@ pub fn run_pipeline(pairs: &[PairedRead], cfg: &PipelineConfig) -> PipelineResul
     // want a file — the cost is the serialization itself).
     let t = Instant::now();
     let mut sink = Vec::new();
-    let records = scaffolds
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (format!("scaffold_{i}"), s.render(&extended)));
-    bioseq::fastq::write_fasta(&mut sink, records, 80).expect("in-memory write");
+    let records =
+        scaffolds.iter().enumerate().map(|(i, s)| (format!("scaffold_{i}"), s.render(&extended)));
+    bioseq::fastq::write_fasta(&mut sink, records, 80)
+        .map_err(|e| PipelineError::io(Phase::FileIo, e))?;
     stats.fasta_bytes = sink.len();
     timings.add(Phase::FileIo, t.elapsed().as_secs_f64());
 
-    PipelineResult { contigs: extended, scaffolds, timings, stats }
+    Ok(PipelineResult { contigs: extended, scaffolds, timings, stats })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use datagen::{arcticsynth_like, generate_community, simulate_reads, CommunityConfig, ReadSimConfig};
+    use datagen::{
+        arcticsynth_like, generate_community, simulate_reads, CommunityConfig, ReadSimConfig,
+    };
 
     fn tiny_dataset() -> (datagen::Community, Vec<PairedRead>) {
         let community = generate_community(&CommunityConfig {
@@ -341,7 +365,7 @@ mod tests {
     fn cpu_pipeline_assembles_genomes() {
         let (community, pairs) = tiny_dataset();
         let cfg = PipelineConfig::default();
-        let result = run_pipeline(&pairs, &cfg);
+        let result = run_pipeline(&pairs, &cfg).expect("pipeline runs");
         assert!(result.stats.contigs_kept > 0, "no contigs survived");
         assert!(result.stats.distinct_kmers > 1000);
         // Longest contig should cover a large chunk of some genome.
@@ -363,14 +387,11 @@ mod tests {
         let (_, pairs) = tiny_dataset();
         let cpu_cfg = PipelineConfig::default();
         let gpu_cfg = PipelineConfig {
-            engine: EngineChoice::Gpu {
-                device: DeviceConfig::v100(),
-                version: KernelVersion::V2,
-            },
+            engine: EngineChoice::Gpu { device: DeviceConfig::v100(), version: KernelVersion::V2 },
             ..PipelineConfig::default()
         };
-        let cpu = run_pipeline(&pairs, &cpu_cfg);
-        let gpu = run_pipeline(&pairs, &gpu_cfg);
+        let cpu = run_pipeline(&pairs, &cpu_cfg).expect("pipeline runs");
+        let gpu = run_pipeline(&pairs, &gpu_cfg).expect("pipeline runs");
         assert_eq!(cpu.contigs, gpu.contigs, "engines must produce identical assemblies");
         assert!(gpu.stats.la_gpu_sim_seconds.unwrap() > 0.0);
         assert!(gpu.stats.gpu.as_ref().unwrap().counters.warp_insts() > 0);
@@ -378,18 +399,29 @@ mod tests {
 
     #[test]
     fn local_assembly_extends_contigs() {
-        let (_, pairs) = tiny_dataset();
-        let result = run_pipeline(&pairs, &PipelineConfig::default());
-        assert!(
-            result.stats.bases_appended > 0,
-            "local assembly appended nothing"
+        // Repeat-bearing genomes with the default (wider) insert
+        // distribution: the global graph forks at the repeats, so the
+        // assembly fragments and local assembly has ends to extend.
+        let community = generate_community(&CommunityConfig {
+            n_species: 2,
+            genome_len: (8_000, 9_000),
+            abundance_sigma: 0.3,
+            repeat_prob: 0.3,
+            repeat_period: 97,
+            seed: 11,
+        });
+        let pairs = simulate_reads(
+            &community,
+            &ReadSimConfig { n_pairs: 3_000, read_len: 100, seed: 12, ..Default::default() },
         );
+        let result = run_pipeline(&pairs, &PipelineConfig::default()).expect("pipeline runs");
+        assert!(result.stats.bases_appended > 0, "local assembly appended nothing");
     }
 
     #[test]
     fn preset_smoke() {
         let (_, pairs) = arcticsynth_like(0.02).generate();
-        let result = run_pipeline(&pairs, &PipelineConfig::default());
+        let result = run_pipeline(&pairs, &PipelineConfig::default()).expect("pipeline runs");
         assert!(result.stats.reads_for_assembly > 0);
         assert_eq!(result.stats.pairs_in, pairs.len());
     }
@@ -397,7 +429,7 @@ mod tests {
     #[test]
     fn ext_summary_consistent_with_stats() {
         let (_, pairs) = tiny_dataset();
-        let result = run_pipeline(&pairs, &PipelineConfig::default());
+        let result = run_pipeline(&pairs, &PipelineConfig::default()).expect("pipeline runs");
         assert_eq!(result.stats.ext_summary.tasks, result.stats.tasks);
         assert_eq!(result.stats.ext_summary.bases_appended, result.stats.bases_appended);
     }
@@ -406,7 +438,7 @@ mod tests {
     fn auto_min_count_uses_spectrum() {
         let (_, pairs) = tiny_dataset();
         let cfg = PipelineConfig { auto_min_count: true, ..PipelineConfig::default() };
-        let result = run_pipeline(&pairs, &cfg);
+        let result = run_pipeline(&pairs, &cfg).expect("pipeline runs");
         assert!(result.stats.min_count_used >= 2, "cutoff {}", result.stats.min_count_used);
         assert!(result.stats.contigs_kept > 0);
     }
@@ -414,7 +446,7 @@ mod tests {
     #[test]
     fn timings_breakdown_sums_to_one() {
         let (_, pairs) = tiny_dataset();
-        let result = run_pipeline(&pairs, &PipelineConfig::default());
+        let result = run_pipeline(&pairs, &PipelineConfig::default()).expect("pipeline runs");
         let frac_sum: f64 = result.timings.breakdown().iter().map(|(_, _, f)| f).sum();
         assert!((frac_sum - 1.0).abs() < 1e-9);
     }

@@ -1,6 +1,6 @@
 //! Text rendering of breakdowns and series tables for the figure harnesses.
 
-use crate::pipeline::PhaseTimings;
+use crate::pipeline::{PhaseTimings, PipelineStats};
 
 /// Render a phase breakdown as a fixed-width table with percentage bars —
 //  the textual equivalent of the paper's pie charts (Fig. 2, Fig. 12).
@@ -18,12 +18,45 @@ pub fn render_breakdown(title: &str, timings: &PhaseTimings) -> String {
             "#".repeat(bar_len)
         ));
     }
-    out.push_str(&format!(
-        "{:<18} {:>10.3} s  100.0%\n",
-        "TOTAL",
-        timings.total()
-    ));
+    out.push_str(&format!("{:<18} {:>10.3} s  100.0%\n", "TOTAL", timings.total()));
     out
+}
+
+/// Render the degraded-run section: which rungs of the local-assembly
+/// recovery ladder fired, and how many tasks were ultimately skipped.
+/// Empty when the run was fault-free.
+pub fn render_recovery(stats: &PipelineStats) -> String {
+    let mut out = String::new();
+    let mut line = |label: &str, value: String| {
+        out.push_str(&format!("  {label:<24} {value}\n"));
+    };
+    if let Some(rec) = &stats.recovery {
+        if rec.launch_retries > 0 {
+            line("launch retries", rec.launch_retries.to_string());
+        }
+        if rec.batch_splits > 0 {
+            line("batch splits", rec.batch_splits.to_string());
+        }
+        if rec.device_resets > 0 {
+            line(
+                "device resets",
+                format!("{} ({:.3} s backoff)", rec.device_resets, rec.backoff_s),
+            );
+        }
+        if rec.cpu_fallback_tasks > 0 {
+            line("CPU-fallback tasks", rec.cpu_fallback_tasks.to_string());
+        }
+        if rec.device_lost {
+            line("device lost", "yes (abandoned after reset budget)".to_string());
+        }
+    }
+    if stats.la_failed_tasks > 0 {
+        line("tasks skipped", stats.la_failed_tasks.to_string());
+    }
+    if out.is_empty() {
+        return out;
+    }
+    format!("DEGRADED RUN — local-assembly recovery ladder fired:\n{out}")
 }
 
 /// Render a generic aligned table.
@@ -44,14 +77,8 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
         line.trim_end().to_string() + "\n"
     };
-    out.push_str(&fmt_row(
-        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
-        &widths,
-    ));
-    out.push_str(&format!(
-        "{}\n",
-        "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))
-    ));
+    out.push_str(&fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths));
+    out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))));
     for row in rows {
         out.push_str(&fmt_row(row, &widths));
     }
@@ -79,10 +106,7 @@ mod tests {
     fn table_aligns_columns() {
         let s = render_table(
             &["nodes", "speedup"],
-            &[
-                vec!["64".into(), "7.00".into()],
-                vec!["1024".into(), "2.65".into()],
-            ],
+            &[vec!["64".into(), "7.00".into()], vec!["1024".into(), "2.65".into()]],
         );
         assert!(s.contains("nodes"));
         assert!(s.lines().count() == 4);
@@ -92,5 +116,34 @@ mod tests {
     #[should_panic(expected = "row width mismatch")]
     fn ragged_rows_rejected() {
         render_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn recovery_section_empty_for_clean_run() {
+        let stats = PipelineStats::default();
+        assert_eq!(render_recovery(&stats), "");
+    }
+
+    #[test]
+    fn recovery_section_lists_fired_rungs() {
+        use locassm::gpu::RecoveryStats;
+        let stats = PipelineStats {
+            recovery: Some(RecoveryStats {
+                batch_splits: 2,
+                device_resets: 1,
+                backoff_s: 0.001,
+                cpu_fallback_tasks: 3,
+                ..Default::default()
+            }),
+            la_failed_tasks: 1,
+            ..Default::default()
+        };
+        let s = render_recovery(&stats);
+        assert!(s.contains("DEGRADED RUN"), "{s}");
+        assert!(s.contains("batch splits"), "{s}");
+        assert!(s.contains("device resets"), "{s}");
+        assert!(s.contains("CPU-fallback tasks"), "{s}");
+        assert!(s.contains("tasks skipped"), "{s}");
+        assert!(!s.contains("launch retries"), "unfired rungs stay silent: {s}");
     }
 }

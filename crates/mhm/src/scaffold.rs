@@ -26,12 +26,7 @@ pub struct ScaffoldParams {
 
 impl Default for ScaffoldParams {
     fn default() -> Self {
-        ScaffoldParams {
-            min_links: 2,
-            seed_k: 17,
-            max_occ: 200,
-            align: AlignParams::default(),
-        }
+        ScaffoldParams { min_links: 2, seed_k: 17, max_occ: 200, align: AlignParams::default() }
     }
 }
 
@@ -41,6 +36,9 @@ enum End {
     Left,
     Right,
 }
+
+/// An ordered pair of contig ends joined by read-pair evidence.
+type Junction = ((usize, End), (usize, End));
 
 impl End {
     fn other(self) -> End {
@@ -103,7 +101,7 @@ pub fn scaffold_contigs(
         .collect();
 
     // Count support per junction.
-    let mut support: HashMap<((usize, End), (usize, End)), usize> = HashMap::new();
+    let mut support: HashMap<Junction, usize> = HashMap::new();
     for l in links {
         *support.entry(l).or_insert(0) += 1;
     }
@@ -143,9 +141,9 @@ pub fn scaffold_contigs(
         let l = partner.contains_key(&(ci, End::Left));
         let r = partner.contains_key(&(ci, End::Right));
         match (l, r) {
-            (false, false) => 0, // singleton
+            (false, false) => 0,                // singleton
             (false, true) | (true, false) => 1, // chain endpoint
-            (true, true) => 2, // interior
+            (true, true) => 2,                  // interior
         }
     });
     for &start in &seeds {
@@ -154,11 +152,7 @@ pub fn scaffold_contigs(
         }
         // Choose entry orientation: enter through an end with no partner if
         // possible (so we walk the full chain).
-        let enter = if !partner.contains_key(&(start, End::Left)) {
-            End::Left
-        } else {
-            End::Right
-        };
+        let enter = if !partner.contains_key(&(start, End::Left)) { End::Left } else { End::Right };
         let mut members = Vec::new();
         let mut cur = start;
         let mut entry = enter;
@@ -180,10 +174,7 @@ pub fn scaffold_contigs(
     scaffolds
 }
 
-fn order_link(
-    a: (usize, End),
-    b: (usize, End),
-) -> ((usize, End), (usize, End)) {
+fn order_link(a: (usize, End), b: (usize, End)) -> Junction {
     if a <= b {
         (a, b)
     } else {
@@ -212,20 +203,22 @@ mod tests {
 
     fn random_seq(len: usize, sd: u64) -> DnaSeq {
         let mut rng = StdRng::seed_from_u64(sd);
-        (0..len)
-            .map(|_| bioseq::Base::from_code(rng.gen_range(0..4)))
-            .collect()
+        (0..len).map(|_| bioseq::Base::from_code(rng.gen_range(0..4))).collect()
     }
 
     /// Pairs spanning a genome with the given insert size.
-    fn spanning_pairs(genome: &DnaSeq, n: usize, insert: usize, read_len: usize) -> Vec<PairedRead> {
+    fn spanning_pairs(
+        genome: &DnaSeq,
+        n: usize,
+        insert: usize,
+        read_len: usize,
+    ) -> Vec<PairedRead> {
         let mut rng = StdRng::seed_from_u64(99);
         (0..n)
             .map(|i| {
                 let start = rng.gen_range(0..genome.len() - insert);
                 let frag = genome.subseq(start, insert);
-                let r1 =
-                    Read::with_uniform_qual(format!("p{i}/1"), frag.subseq(0, read_len), 30);
+                let r1 = Read::with_uniform_qual(format!("p{i}/1"), frag.subseq(0, read_len), 30);
                 let r2 = Read::with_uniform_qual(
                     format!("p{i}/2"),
                     frag.subseq(insert - read_len, read_len).revcomp(),
@@ -293,11 +286,8 @@ mod tests {
     #[test]
     fn three_contig_chain_in_order() {
         let genome = random_seq(1800, 6);
-        let contigs = vec![
-            genome.subseq(0, 580),
-            genome.subseq(600, 580),
-            genome.subseq(1200, 580),
-        ];
+        let contigs =
+            vec![genome.subseq(0, 580), genome.subseq(600, 580), genome.subseq(1200, 580)];
         let pairs = spanning_pairs(&genome, 300, 400, 100);
         let scaffolds = scaffold_contigs(&contigs, &pairs, &ScaffoldParams::default());
         assert_eq!(scaffolds.len(), 1);
@@ -308,11 +298,7 @@ mod tests {
     #[test]
     fn every_contig_appears_once() {
         let genome = random_seq(1200, 7);
-        let contigs = vec![
-            genome.subseq(0, 590),
-            genome.subseq(610, 590),
-            random_seq(400, 8),
-        ];
+        let contigs = vec![genome.subseq(0, 590), genome.subseq(610, 590), random_seq(400, 8)];
         let pairs = spanning_pairs(&genome, 100, 400, 100);
         let scaffolds = scaffold_contigs(&contigs, &pairs, &ScaffoldParams::default());
         let mut seen: Vec<usize> =

@@ -101,7 +101,7 @@ impl ScalingModel {
             .expect("local assembly fraction required");
         let la64 = anchors.total_anchor_s * la_frac;
         let c = la64 * anchors.nodes_anchor; // node-seconds of CPU LA work
-        // speedup(N) = C / (K + F·N)
+                                             // speedup(N) = C / (K + F·N)
         let s1 = anchors.la_speedup_anchor;
         let s2 = anchors.la_speedup_far;
         let n1 = anchors.nodes_anchor;
@@ -262,8 +262,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "degenerate")]
     fn inverted_anchors_rejected() {
-        let mut a = PaperAnchors::default();
-        a.la_speedup_far = 20.0; // faster at scale: impossible under K/N + F
+        // Faster at scale: impossible under K/N + F.
+        let a = PaperAnchors { la_speedup_far: 20.0, ..Default::default() };
         ScalingModel::from_anchors(a);
     }
 }

@@ -87,11 +87,7 @@ pub fn evaluate_against_refs(assembly: &[DnaSeq], refs: &[DnaSeq], k: usize) -> 
         } else {
             recovered as f64 / ref_set.len() as f64
         },
-        precision: if asm_set.is_empty() {
-            1.0
-        } else {
-            genuine as f64 / asm_set.len() as f64
-        },
+        precision: if asm_set.is_empty() { 1.0 } else { genuine as f64 / asm_set.len() as f64 },
         k,
     }
 }
@@ -154,11 +150,8 @@ mod tests {
     #[test]
     fn perfect_assembly_full_fraction() {
         let genome = random_genome(500, 1);
-        let eval = evaluate_against_refs(
-            std::slice::from_ref(&genome),
-            std::slice::from_ref(&genome),
-            21,
-        );
+        let eval =
+            evaluate_against_refs(std::slice::from_ref(&genome), std::slice::from_ref(&genome), 21);
         assert!((eval.genome_fraction - 1.0).abs() < 1e-12);
         assert!((eval.precision - 1.0).abs() < 1e-12);
     }
@@ -184,11 +177,8 @@ mod tests {
     fn foreign_sequence_lowers_precision() {
         let genome = random_genome(400, 4);
         let junk = random_genome(400, 5);
-        let eval = evaluate_against_refs(
-            &[genome.clone(), junk],
-            std::slice::from_ref(&genome),
-            21,
-        );
+        let eval =
+            evaluate_against_refs(&[genome.clone(), junk], std::slice::from_ref(&genome), 21);
         assert!(eval.precision < 0.8, "junk contig must show up: {}", eval.precision);
     }
 }

@@ -27,17 +27,14 @@ fn main() {
 
     let cpu_cfg = PipelineConfig::default();
     let gpu_cfg = PipelineConfig {
-        engine: EngineChoice::Gpu {
-            device: DeviceConfig::v100(),
-            version: KernelVersion::V2,
-        },
+        engine: EngineChoice::Gpu { device: DeviceConfig::v100(), version: KernelVersion::V2 },
         ..PipelineConfig::default()
     };
 
     println!("assembling with CPU local assembly ...");
-    let cpu = run_pipeline(&pairs, &cpu_cfg);
+    let cpu = run_pipeline(&pairs, &cpu_cfg).expect("pipeline runs");
     println!("assembling with GPU local assembly ...");
-    let gpu = run_pipeline(&pairs, &gpu_cfg);
+    let gpu = run_pipeline(&pairs, &gpu_cfg).expect("pipeline runs");
     assert_eq!(cpu.contigs, gpu.contigs, "engines must agree");
 
     println!("\n{}", render_breakdown("with CPU local assembly", &cpu.timings));

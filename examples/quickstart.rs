@@ -22,7 +22,11 @@ fn main() {
         seed: 7,
         ..Default::default()
     });
-    println!("community: {} genomes, {} total bases", community.genomes.len(), community.total_bases());
+    println!(
+        "community: {} genomes, {} total bases",
+        community.genomes.len(),
+        community.total_bases()
+    );
     for (g, a) in community.genomes.iter().zip(&community.abundances) {
         println!("  {:<12} {:>6} bp  abundance {:.3}", g.id, g.seq.len(), a);
     }
@@ -30,16 +34,12 @@ fn main() {
     // 2. Illumina-like paired reads at ~30x mean coverage.
     let pairs = simulate_reads(
         &community,
-        &ReadSimConfig {
-            n_pairs: 20_000,
-            read_len: 150,
-            ..Default::default()
-        },
+        &ReadSimConfig { n_pairs: 20_000, read_len: 150, ..Default::default() },
     );
     println!("\nsimulated {} read pairs of 150 bp", pairs.len());
 
     // 3. Assemble.
-    let result = run_pipeline(&pairs, &PipelineConfig::default());
+    let result = run_pipeline(&pairs, &PipelineConfig::default()).expect("pipeline runs");
 
     // 4. Report.
     let s = &result.stats;

@@ -30,7 +30,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["nodes", "LA cpu s", "LA gpu s", "LA speedup", "total cpu s", "total gpu s", "overall"],
+            &[
+                "nodes",
+                "LA cpu s",
+                "LA gpu s",
+                "LA speedup",
+                "total cpu s",
+                "total gpu s",
+                "overall"
+            ],
             &rows
         )
     );

@@ -148,18 +148,9 @@ fn reads_shorter_than_k_are_ignored_consistently() {
         Read::with_uniform_qual("short", random_seq(&mut rng, 14), 30),
     ];
     for i in 0..6 {
-        reads.push(Read::with_uniform_qual(
-            format!("r{i}"),
-            genome.subseq(40 + i * 10, 70),
-            35,
-        ));
+        reads.push(Read::with_uniform_qual(format!("r{i}"), genome.subseq(40 + i * 10, 70), 35));
     }
-    let task = ExtTask {
-        contig: 0,
-        end: ContigEnd::Right,
-        tail: genome.subseq(0, 100),
-        reads,
-    };
+    let task = ExtTask { contig: 0, end: ContigEnd::Right, tail: genome.subseq(0, 100), reads };
     let params = LocalAssemblyParams::for_tests();
     let cpu = extend_all_cpu(std::slice::from_ref(&task), &params);
     let v2 = gpu_results(std::slice::from_ref(&task), &params, KernelVersion::V2);

@@ -20,7 +20,7 @@ proptest! {
         let stats = dev.launch(1, 0, |ctx| {
             let a = ctx.lanes_from(|l| addrs.get(l).copied());
             ctx.ld_global(&a);
-        });
+        }).expect("healthy device");
         let mut sectors: Vec<u64> = addrs.iter().map(|a| a / 4).collect();
         sectors.sort_unstable();
         sectors.dedup();
@@ -39,7 +39,7 @@ proptest! {
         dev.launch(1, 0, move |ctx| {
             let ops = ctx.lanes_from(|l| Some((buf.addr + 3, vals2[l])));
             ctx.atomic_add(&ops);
-        });
+        }).expect("healthy device");
         prop_assert_eq!(dev.d2h_word(buf, 3), vals.iter().sum::<u64>());
     }
 
@@ -57,7 +57,7 @@ proptest! {
             let winners: Vec<usize> = (0..WARP).filter(|&l| old[l] == 0).collect();
             assert_eq!(winners.len(), 1);
             winner_val = news2[winners[0]];
-        });
+        }).expect("healthy device");
         prop_assert_eq!(dev.d2h_word(buf, 0), winner_val);
     }
 }
@@ -70,13 +70,15 @@ fn timing_monotone_in_work() {
     for scale in [1usize, 4, 16, 64] {
         let mut dev = Device::new(cfg.clone());
         dev.alloc(1 << 20).unwrap();
-        let stats = dev.launch(64, 0, |ctx| {
-            let mut rng = StdRng::seed_from_u64(ctx.warp_id as u64);
-            for _ in 0..scale * 10 {
-                let a = ctx.lanes_from(|_| Some(rng.gen_range(0..(1 << 20))));
-                ctx.ld_global(&a);
-            }
-        });
+        let stats = dev
+            .launch(64, 0, |ctx| {
+                let mut rng = StdRng::seed_from_u64(ctx.warp_id as u64);
+                for _ in 0..scale * 10 {
+                    let a = ctx.lanes_from(|_| Some(rng.gen_range(0..(1 << 20))));
+                    ctx.ld_global(&a);
+                }
+            })
+            .expect("healthy device");
         let t = stats.timing.kernel_seconds;
         assert!(t >= prev, "time decreased with more work");
         prev = t;
@@ -93,20 +95,19 @@ fn scattered_slower_than_coalesced() {
         dev.alloc(1 << 22).unwrap();
         // Enough warps that resident parallelism hides latency and the
         // launch is bandwidth-bound (the regime where coalescing matters).
-        let stats = dev.launch(5120, 0, |ctx| {
-            for i in 0..50u64 {
-                let a = ctx.lanes_from(|l| Some((i * 32 + l as u64) * stride % (1 << 22)));
-                ctx.ld_global(&a);
-            }
-        });
+        let stats = dev
+            .launch(5120, 0, |ctx| {
+                for i in 0..50u64 {
+                    let a = ctx.lanes_from(|l| Some((i * 32 + l as u64) * stride % (1 << 22)));
+                    ctx.ld_global(&a);
+                }
+            })
+            .expect("healthy device");
         stats.timing.kernel_seconds
     };
     let coalesced = run(1);
     let scattered = run(97); // co-prime stride: every lane its own sector
-    assert!(
-        scattered > 2.0 * coalesced,
-        "scattered {scattered} vs coalesced {coalesced}"
-    );
+    assert!(scattered > 2.0 * coalesced, "scattered {scattered} vs coalesced {coalesced}");
 }
 
 #[test]
@@ -118,10 +119,11 @@ fn local_memory_isolated_per_lane() {
         let vals = ctx.lanes_from(|l| l as u64 * 11);
         ctx.st_local(&offs, &vals);
         let out = ctx.ld_local(&offs);
-        for l in 0..WARP {
-            assert_eq!(out[l], l as u64 * 11, "lane {l} saw another lane's local");
+        for (l, &v) in out.iter().enumerate() {
+            assert_eq!(v, l as u64 * 11, "lane {l} saw another lane's local");
         }
-    });
+    })
+    .expect("healthy device");
 }
 
 #[test]

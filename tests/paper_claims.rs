@@ -20,11 +20,8 @@ fn dump_tasks(preset: &Preset, k: usize) -> Vec<ExtTask> {
     let (reads, _) = merge_reads(&pairs, &MergeParams::default());
     let counts = count_kmers(&reads, k, 2);
     let graph = DbgGraph::new(k, counts);
-    let contigs: Vec<DnaSeq> = generate_contigs(&graph, 2)
-        .into_iter()
-        .filter(|c| c.len() >= 100)
-        .map(|c| c.seq)
-        .collect();
+    let contigs: Vec<DnaSeq> =
+        generate_contigs(&graph, 2).into_iter().filter(|c| c.len() >= 100).map(|c| c.seq).collect();
     let idx = SeedIndex::build(&contigs, 17, 200);
     let cands = collect_candidates(&contigs, &reads, &idx, &CandidateParams::default());
     let cand_pairs: Vec<(Vec<Read>, Vec<Read>)> =
@@ -33,11 +30,8 @@ fn dump_tasks(preset: &Preset, k: usize) -> Vec<ExtTask> {
 }
 
 fn run_kernel(tasks: &[ExtTask], version: KernelVersion) -> locassm::gpu::GpuRunStats {
-    let mut engine = GpuLocalAssembler::new(
-        DeviceConfig::v100(),
-        LocalAssemblyParams::for_tests(),
-        version,
-    );
+    let mut engine =
+        GpuLocalAssembler::new(DeviceConfig::v100(), LocalAssemblyParams::for_tests(), version);
     engine.extend_tasks(tasks).1
 }
 
@@ -173,8 +167,7 @@ fn bin3_first_scheduling_order() {
     // The engine processes order = large ++ small; equality of results with
     // the CPU engine (tested elsewhere) plus this ordering property is what
     // the paper's overlap design needs.
-    let order: Vec<usize> =
-        stats.large.iter().chain(stats.small.iter()).copied().collect();
+    let order: Vec<usize> = stats.large.iter().chain(stats.small.iter()).copied().collect();
     for (i, &t) in order.iter().enumerate() {
         if i < stats.large.len() {
             assert!(tasks[t].reads.len() >= 10);

@@ -1,0 +1,175 @@
+//! Offline stub of `criterion` 0.5 (see `vendor/README.md`).
+//!
+//! Keeps `cargo bench` compiling and producing *indicative* timings without
+//! the real crate: each benchmark runs a fixed warm-up plus a handful of
+//! timed iterations and prints mean wall-clock time per iteration. No
+//! statistical analysis, outlier detection, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch sizing hints for [`Bencher::iter_batched`]. The stub runs one
+/// setup per timed iteration regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    samples: u64,
+    /// Mean seconds per iteration, recorded for the group's report line.
+    mean_s: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean_s = start.elapsed().as_secs_f64() / self.samples as f64;
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean_s = total.as_secs_f64() / self.samples as f64;
+    }
+}
+
+/// A named set of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self // the stub samples a fixed count; wall-clock budget is ignored
+    }
+
+    pub fn bench_function<N: std::fmt::Display, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.sample_size as u64, mean_s: 0.0 };
+        f(&mut b);
+        println!(
+            "{}/{}: {:>12} per iter ({} samples)",
+            self.name,
+            id,
+            format_seconds(b.mean_s),
+            self.sample_size,
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, _criterion: self }
+    }
+
+    pub fn bench_function<N: std::fmt::Display, F>(&mut self, id: N, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        let mut ran = 0u32;
+        group.sample_size(3).measurement_time(Duration::from_millis(1));
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        let mut setups = 0u32;
+        group.sample_size(4);
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::LargeInput,
+            )
+        });
+        assert!(setups >= 4);
+    }
+}

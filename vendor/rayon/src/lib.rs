@@ -1,0 +1,212 @@
+//! Offline stub of `rayon` (see `vendor/README.md`).
+//!
+//! Implements the subset of rayon's API this workspace uses — `par_iter`,
+//! `par_chunks`, `into_par_iter`, `join`, `current_num_threads`, and the
+//! combinators chained on them — with **sequential** execution. Results are
+//! bit-identical to real rayon for the deterministic pipelines here (every
+//! call site collects in input order or folds with associative ops); only
+//! wall-clock parallelism is lost. Swap the workspace dependency back to
+//! crates.io rayon when a registry is available.
+
+/// Run two closures and return both results. Real rayon may run them on
+/// different threads; the stub runs them in order, which is an allowed
+/// schedule of the same contract.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+/// Logical threads rayon would use (the host's available parallelism).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator that
+/// exposes rayon's combinator names as inherent methods (inherent so that
+/// `reduce(identity, op)` does not collide with `Iterator::reduce(op)`).
+pub struct Par<I>(I);
+
+impl<I: Iterator> Par<I> {
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(f))
+    }
+
+    pub fn filter_map<O, F: FnMut(I::Item) -> Option<O>>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FilterMap<I, F>> {
+        Par(self.0.filter_map(f))
+    }
+
+    /// rayon's `flat_map_iter`: flat-map with a sequential inner iterator.
+    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FlatMap<I, U, F>> {
+        Par(self.0.flat_map(f))
+    }
+
+    pub fn flatten(self) -> Par<std::iter::Flatten<I>>
+    where
+        I::Item: IntoIterator,
+    {
+        Par(self.0.flatten())
+    }
+
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f);
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// rayon-style reduce: fold from `identity()` with an associative op.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+}
+
+pub trait IntoParallelRefIterator<'data> {
+    type Iter: Iterator;
+    fn par_iter(&'data self) -> Par<Self::Iter>;
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> Par<Self::Iter> {
+        Par(self.iter())
+    }
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> Par<Self::Iter> {
+        Par(self.iter())
+    }
+}
+
+pub trait IntoParallelRefMutIterator<'data> {
+    type Iter: Iterator;
+    fn par_iter_mut(&'data mut self) -> Par<Self::Iter>;
+}
+
+impl<'data, T: 'data + Send> IntoParallelRefMutIterator<'data> for [T] {
+    type Iter = std::slice::IterMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> Par<Self::Iter> {
+        Par(self.iter_mut())
+    }
+}
+
+impl<'data, T: 'data + Send> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Iter = std::slice::IterMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> Par<Self::Iter> {
+        Par(self.iter_mut())
+    }
+}
+
+pub trait IntoParallelIterator {
+    type Iter: Iterator;
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = std::ops::Range<usize>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self)
+    }
+}
+
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(chunk_size))
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_collect_preserves_order() {
+        let v = vec![3, 1, 2];
+        let out: Vec<i32> = v.par_iter().map(|x| x * 10).collect();
+        assert_eq!(out, vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let v = vec![1u64, 2, 3, 4];
+        let s = v.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 10);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1, || "x");
+        assert_eq!((a, b), (1, "x"));
+    }
+
+    #[test]
+    fn par_chunks_matches_chunks() {
+        let v: Vec<u32> = (0..10).collect();
+        let n: usize = v.par_chunks(3).map(|c| c.len()).sum();
+        assert_eq!(n, 10);
+    }
+}

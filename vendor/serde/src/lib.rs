@@ -1,0 +1,21 @@
+//! Offline stub of `serde` (see `vendor/README.md`).
+//!
+//! The workspace uses serde only for `#[derive(Serialize, Deserialize)]`
+//! annotations on config/stat structs; no code path serializes. The stub
+//! keeps those annotations compiling: the derive macros (re-exported from
+//! the stub `serde_derive`) expand to nothing, and the traits carry blanket
+//! impls so generic bounds like `T: Serialize` remain satisfiable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}

@@ -1,0 +1,20 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The containerized build environment has no network access to crates.io,
+//! so the workspace vendors API-compatible stubs for its external
+//! dependencies (see `vendor/README.md`). Nothing in this repository
+//! actually serializes through serde — the derives exist so config structs
+//! stay forward-compatible — so the stub derive macros expand to nothing
+//! and the stub `serde` crate provides blanket trait impls.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
