@@ -4,7 +4,7 @@
 use bench::{local_assembly_dump, DumpConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use datagen::arcticsynth_like;
-use gpusim::DeviceConfig;
+use gpusim::{DeviceConfig, SanitizerConfig};
 use locassm::gpu::{GpuLocalAssembler, KernelVersion};
 use locassm::LocalAssemblyParams;
 use std::hint::black_box;
@@ -25,6 +25,19 @@ fn bench_kernels(c: &mut Criterion) {
             })
         });
     }
+    // Same workload under full gpucheck — the contrast with plain "v2"
+    // quantifies the sanitizer's overhead (and "v2" itself is the evidence
+    // that a sanitizer-off device pays nothing for the subsystem existing).
+    group.bench_function("v2_gpucheck", |b| {
+        b.iter(|| {
+            let mut engine = GpuLocalAssembler::new(
+                DeviceConfig::v100().with_sanitizer(SanitizerConfig::full()),
+                params.clone(),
+                KernelVersion::V2,
+            );
+            black_box(engine.extend_tasks(&dump.tasks))
+        })
+    });
     group.finish();
 
     for (name, version) in [("v1", KernelVersion::V1), ("v2", KernelVersion::V2)] {

@@ -107,7 +107,8 @@ pub fn warp_aggregated_add(ctx: &mut WarpCtx, ops: &Lanes<Option<(u64, u64)>>) -
     // Leaders perform one atomic each with the group sum.
     let mut leader_ops: Lanes<Option<(u64, u64)>> = [None; WARP];
     for l in 0..WARP {
-        if !ctx.lane_active(l) || ops[l].is_none() {
+        let Some((addr, _)) = ops[l] else { continue };
+        if !ctx.lane_active(l) {
             continue;
         }
         let mask = groups[l];
@@ -115,9 +116,9 @@ pub fn warp_aggregated_add(ctx: &mut WarpCtx, ops: &Lanes<Option<(u64, u64)>>) -
         if leader == l {
             let sum: u64 = (0..WARP)
                 .filter(|&m| mask & (1 << m) != 0)
-                .map(|m| ops[m].expect("grouped lane has op").1)
+                .filter_map(|m| ops[m].map(|(_, v)| v))
                 .fold(0u64, u64::wrapping_add);
-            leader_ops[l] = Some((ops[l].expect("leader has op").0, sum));
+            leader_ops[l] = Some((addr, sum));
         }
     }
     let leader_old = ctx.atomic_add(&leader_ops);
@@ -135,7 +136,7 @@ pub fn warp_aggregated_add(ctx: &mut WarpCtx, ops: &Lanes<Option<(u64, u64)>>) -
         let leader = mask.trailing_zeros() as usize;
         let prefix: u64 = (0..l)
             .filter(|&m| mask & (1 << m) != 0)
-            .map(|m| ops[m].expect("grouped lane has op").1)
+            .filter_map(|m| ops[m].map(|(_, v)| v))
             .fold(0u64, u64::wrapping_add);
         out[l] = leader_old[leader].wrapping_add(prefix);
     }
@@ -148,7 +149,10 @@ impl WarpCtx<'_> {
     /// matters).
     pub(crate) fn shfl_xor_accounting(&mut self) {
         let vals = [0u64; WARP];
-        let _ = self.shfl(&vals, 0);
+        // Source from an active lane: a fixed lane 0 would be a synccheck
+        // violation whenever the caller's mask excludes it.
+        let src = self.first_active_lane().unwrap_or(0);
+        let _ = self.shfl(&vals, src);
     }
 }
 

@@ -1,6 +1,7 @@
 //! Device configuration: V100-flavoured defaults, everything tunable.
 
 use crate::fault::FaultPlan;
+use crate::sanitizer::SanitizerConfig;
 use serde::{Deserialize, Serialize};
 
 /// Hardware parameters of the simulated device.
@@ -34,6 +35,9 @@ pub struct DeviceConfig {
     pub l1_tx_per_cycle_per_sm: f64,
     /// Deterministic fault-injection schedule (empty = healthy device).
     pub fault_plan: FaultPlan,
+    /// `gpucheck` sanitizer analyses (all off by default — zero overhead).
+    #[serde(default)]
+    pub sanitizer: SanitizerConfig,
 }
 
 impl Default for DeviceConfig {
@@ -58,6 +62,7 @@ impl DeviceConfig {
             launch_overhead_us: 10.0,
             l1_tx_per_cycle_per_sm: 4.0,
             fault_plan: FaultPlan::none(),
+            sanitizer: SanitizerConfig::off(),
         }
     }
 
@@ -76,12 +81,19 @@ impl DeviceConfig {
             launch_overhead_us: 1.0,
             l1_tx_per_cycle_per_sm: 2.0,
             fault_plan: FaultPlan::none(),
+            sanitizer: SanitizerConfig::off(),
         }
     }
 
     /// Attach a fault-injection schedule (builder style).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> DeviceConfig {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Enable `gpucheck` analyses (builder style).
+    pub fn with_sanitizer(mut self, sanitizer: SanitizerConfig) -> DeviceConfig {
+        self.sanitizer = sanitizer;
         self
     }
 

@@ -4,8 +4,13 @@ use crate::config::DeviceConfig;
 use crate::counters::Counters;
 use crate::fault::{Fault, LaunchError};
 use crate::mem::{Buf, DeviceOom, GlobalMem};
+use crate::sanitizer::{Sanitizer, SanitizerConfig, SanitizerSummary};
 use crate::timing::{self, TimingEstimate};
 use crate::warp::WarpCtx;
+
+/// Environment variable forcing the full `gpucheck` sanitizer on for every
+/// device, regardless of config (the CI whole-suite sanitize job sets it).
+pub const SANITIZE_ENV: &str = "GPUSIM_SANITIZE";
 
 /// Statistics for one kernel launch.
 #[derive(Debug, Clone)]
@@ -41,13 +46,28 @@ pub struct Device {
     poisoned: Option<LaunchError>,
     /// Completed device resets.
     resets: u64,
+    /// `gpucheck` dynamic checker (config- or env-enabled).
+    sanitizer: Option<Box<Sanitizer>>,
 }
 
 impl Device {
-    /// New device with the given configuration.
+    /// New device with the given configuration. The `GPUSIM_SANITIZE`
+    /// environment variable forces the full sanitizer on even when the
+    /// config leaves it off.
     pub fn new(config: DeviceConfig) -> Device {
         let cap = config.capacity_words();
         let fired = vec![false; config.fault_plan.faults.len()];
+        let san_cfg = if config.sanitizer.enabled() {
+            Some(config.sanitizer)
+        } else if std::env::var_os(SANITIZE_ENV).is_some_and(|v| v != "0" && !v.is_empty()) {
+            Some(SanitizerConfig::full())
+        } else {
+            None
+        };
+        let sanitizer = san_cfg.map(|cfg| {
+            crate::mem::enable_strict_bounds();
+            Box::new(Sanitizer::new(cfg))
+        });
         Device {
             config,
             mem: GlobalMem::new(cap),
@@ -58,7 +78,19 @@ impl Device {
             fired,
             poisoned: None,
             resets: 0,
+            sanitizer,
         }
+    }
+
+    /// Is the `gpucheck` sanitizer active on this device?
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.sanitizer.is_some()
+    }
+
+    /// Drain the sanitizer findings accumulated since the last call
+    /// (`None` when the sanitizer is off).
+    pub fn take_sanitizer_summary(&mut self) -> Option<SanitizerSummary> {
+        self.sanitizer.as_mut().map(|s| s.take_summary())
     }
 
     /// The device configuration.
@@ -72,6 +104,18 @@ impl Device {
     /// fail with [`DeviceOom`] even if capacity remains; the device stays
     /// usable (callers shrink and retry).
     pub fn alloc(&mut self, words: u64) -> Result<Buf, DeviceOom> {
+        self.alloc_inner(words, true)
+    }
+
+    /// Allocate `words` words *without* the zero-fill guarantee — the
+    /// `cudaMalloc` analogue of [`Device::alloc`]'s `cudaMemset` semantics.
+    /// Physically the simulator still zeroes the words, but under memcheck a
+    /// load from them before any store is an uninitialized read.
+    pub fn alloc_uninit(&mut self, words: u64) -> Result<Buf, DeviceOom> {
+        self.alloc_inner(words, false)
+    }
+
+    fn alloc_inner(&mut self, words: u64, initialized: bool) -> Result<Buf, DeviceOom> {
         let attempt = self.allocs;
         self.allocs += 1;
         for i in 0..self.config.fault_plan.faults.len() {
@@ -86,12 +130,19 @@ impl Device {
                 }
             }
         }
-        self.mem.alloc(words)
+        let buf = self.mem.alloc(words)?;
+        if let Some(s) = self.sanitizer.as_mut() {
+            s.on_alloc(buf.addr, buf.len, initialized);
+        }
+        Ok(buf)
     }
 
     /// Free all allocations (arena reset), keeping counters.
     pub fn reset_mem(&mut self) {
         self.mem.reset();
+        if let Some(s) = self.sanitizer.as_mut() {
+            s.on_reset();
+        }
     }
 
     /// Words currently allocated on the device.
@@ -102,6 +153,9 @@ impl Device {
     /// Host → device copy.
     pub fn h2d(&mut self, buf: Buf, offset: u64, data: &[u64]) {
         self.mem.write_slice(buf, offset, data);
+        if let Some(s) = self.sanitizer.as_mut() {
+            s.on_host_write(buf.addr + offset, data.len() as u64);
+        }
     }
 
     /// Device → host copy.
@@ -139,6 +193,9 @@ impl Device {
             self.poisoned = Some(err);
             return Err(err);
         }
+        if let Some(s) = self.sanitizer.as_mut() {
+            s.begin_launch(launch_idx);
+        }
         let mut counters = Counters::new();
         for warp_id in 0..warps {
             let mut ctx = WarpCtx::new(
@@ -147,8 +204,10 @@ impl Device {
                 &mut counters,
                 local_words_per_lane,
                 self.config.sector_bytes,
+                self.sanitizer.as_deref_mut(),
             );
             kernel(&mut ctx);
+            ctx.finish_warp();
         }
         let timing = timing::estimate(&self.config, &counters, warps);
         self.total.merge(&counters);
@@ -188,6 +247,9 @@ impl Device {
     pub fn reset_device(&mut self) {
         self.poisoned = None;
         self.mem.reset();
+        if let Some(s) = self.sanitizer.as_mut() {
+            s.on_reset();
+        }
         self.resets += 1;
     }
 
@@ -365,5 +427,120 @@ mod tests {
         }
         assert_eq!(dev.faults_fired(), 0);
         assert_eq!(dev.resets(), 0);
+    }
+
+    mod sanitized {
+        use super::*;
+        use crate::sanitizer::{SanitizerConfig, SanitizerKind};
+
+        fn sanitized_device() -> Device {
+            Device::new(DeviceConfig::tiny().with_sanitizer(SanitizerConfig::full()))
+        }
+
+        #[test]
+        fn off_by_default_on_when_configured() {
+            assert!(sanitized_device().sanitizer_enabled());
+            // The default is off — unless the process-wide env override is
+            // in force (the CI sanitize job runs this very test under it).
+            let env_forced = std::env::var(SANITIZE_ENV).is_ok_and(|v| !v.is_empty() && v != "0");
+            if !env_forced {
+                assert!(!Device::new(DeviceConfig::tiny()).sanitizer_enabled());
+                assert!(Device::new(DeviceConfig::tiny()).take_sanitizer_summary().is_none());
+            }
+        }
+
+        #[test]
+        fn use_after_reset_flagged_through_stale_buf() {
+            let mut dev = sanitized_device();
+            let stale = dev.alloc(16).unwrap();
+            dev.reset_mem();
+            // Keep one live word so address 0 exists physically again.
+            dev.alloc(16).unwrap();
+            dev.reset_mem();
+            let fresh = dev.alloc(8).unwrap();
+            dev.launch(1, 0, |ctx| {
+                ctx.ld_global_lane(0, fresh.at(0)); // live: fine
+                ctx.ld_global_lane(0, stale.at(12)); // stale epoch: flagged
+            })
+            .expect("launch ok");
+            let sum = dev.take_sanitizer_summary().expect("sanitizer on");
+            assert_eq!(sum.count(SanitizerKind::UseAfterReset), 1);
+            assert_eq!(sum.count(SanitizerKind::OutOfBounds), 0);
+        }
+
+        #[test]
+        fn uninit_read_only_for_alloc_uninit() {
+            let mut dev = sanitized_device();
+            let zeroed = dev.alloc(8).unwrap();
+            let raw = dev.alloc_uninit(8).unwrap();
+            dev.launch(1, 0, |ctx| {
+                ctx.ld_global_lane(0, zeroed.at(3)); // cudaMemset semantics: defined
+                ctx.ld_global_lane(0, raw.at(3)); // cudaMalloc semantics: uninit
+                ctx.st_global_lane(0, raw.at(4), 9); // store defines...
+                ctx.ld_global_lane(0, raw.at(4)); // ...so this is clean
+            })
+            .expect("launch ok");
+            let sum = dev.take_sanitizer_summary().expect("sanitizer on");
+            assert_eq!(sum.count(SanitizerKind::UninitRead), 1);
+        }
+
+        #[test]
+        fn h2d_defines_uninit_words() {
+            let mut dev = sanitized_device();
+            let raw = dev.alloc_uninit(8).unwrap();
+            dev.h2d(raw, 2, &[1, 2]);
+            dev.launch(1, 0, |ctx| {
+                ctx.ld_global_lane(0, raw.at(2));
+                ctx.ld_global_lane(0, raw.at(3));
+            })
+            .expect("launch ok");
+            let sum = dev.take_sanitizer_summary().expect("sanitizer on");
+            assert!(sum.is_clean(), "{}", sum.render());
+        }
+
+        #[test]
+        fn take_summary_drains() {
+            let mut dev = sanitized_device();
+            dev.alloc(4).unwrap();
+            dev.launch(1, 0, |ctx| {
+                ctx.ld_global_lane(0, 100); // OOB
+            })
+            .expect("launch ok");
+            assert_eq!(dev.take_sanitizer_summary().unwrap().total(), 1);
+            let again = dev.take_sanitizer_summary().unwrap();
+            assert!(again.enabled && again.total() == 0);
+        }
+
+        #[test]
+        fn cross_warp_plain_writes_same_word_flagged() {
+            let mut dev = sanitized_device();
+            let buf = dev.alloc(4).unwrap();
+            dev.launch(2, 0, |ctx| {
+                ctx.st_global_lane(0, buf.at(0), ctx.warp_id as u64);
+            })
+            .expect("launch ok");
+            let sum = dev.take_sanitizer_summary().expect("sanitizer on");
+            assert!(sum.count(SanitizerKind::WarpRace) > 0);
+            assert_eq!(sum.count(SanitizerKind::LaneRace), 0);
+        }
+
+        #[test]
+        fn clean_kernels_stay_clean_across_launches() {
+            let mut dev = sanitized_device();
+            let buf = dev.alloc(64).unwrap();
+            for _ in 0..3 {
+                dev.launch(2, 0, |ctx| {
+                    // Each warp owns a disjoint 32-word window.
+                    let base = (ctx.warp_id * WARP) as u64;
+                    let addrs = ctx.lanes_from(|l| Some(buf.at(base + l as u64)));
+                    let vals = ctx.lanes_from(|l| l as u64);
+                    ctx.st_global(&addrs, &vals);
+                    ctx.ld_global(&addrs);
+                })
+                .expect("launch ok");
+            }
+            let sum = dev.take_sanitizer_summary().expect("sanitizer on");
+            assert!(sum.is_clean(), "{}", sum.render());
+        }
     }
 }

@@ -28,6 +28,17 @@
 //! (denied allocations, kernel hangs, detected memory corruption) to exercise
 //! the recovery paths of the layers above.
 //!
+//! A `compute-sanitizer`-style checking layer — **`gpucheck`**
+//! ([`sanitizer`], [`shadow`]) — can be enabled per device via
+//! [`DeviceConfig::with_sanitizer`] (or forced process-wide with
+//! `GPUSIM_SANITIZE=1`). It runs three analyses over the executing kernels:
+//! *memcheck* (out-of-bounds, use-after-reset through stale [`Buf`]s,
+//! uninitialized reads), *racecheck* (same-word lane and warp hazards where
+//! at least one access is a plain store), and *synccheck* (mask-stack
+//! balance, shuffles from inactive lanes, empty-mask collectives). Findings
+//! surface as structured [`SanitizerReport`] records; when the sanitizer is
+//! off (the default) kernels pay one `Option` branch per memory operation.
+//!
 //! What this deliberately does **not** model: instruction pipelining details,
 //! L2 behaviour, ECC scrubbing, or clock boosting. The paper's conclusions are about
 //! algorithmic structure (divergence, coalescing, atomics, predication), and
@@ -45,14 +56,17 @@ pub mod device;
 pub mod fault;
 pub mod mem;
 pub mod roofline;
+pub mod sanitizer;
+pub mod shadow;
 pub mod timing;
 pub mod warp;
 
 pub use collectives::{warp_aggregated_add, warp_inclusive_scan, warp_reduce, ReduceOp};
 pub use config::DeviceConfig;
 pub use counters::{Counters, InstClass};
-pub use device::{Device, LaunchStats};
+pub use device::{Device, LaunchStats, SANITIZE_ENV};
 pub use fault::{Fault, FaultPlan, LaunchError};
 pub use mem::{Buf, DeviceOom};
 pub use roofline::RooflineReport;
+pub use sanitizer::{SanitizerConfig, SanitizerKind, SanitizerReport, SanitizerSummary};
 pub use warp::{Lanes, WarpCtx, WARP};

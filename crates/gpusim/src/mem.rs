@@ -4,6 +4,25 @@
 //! allocator — the same discipline the paper's kernels use (one big slab,
 //! offsets computed host-side, no device-side `malloc`).
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Once any sanitizer-enabled device exists in the process, `Buf::at` bounds
+/// failures become hard errors even in release builds (normally they are
+/// `debug_assert` only, silently indexing a neighboring allocation). Sticky
+/// and process-global because `Buf` is a plain `Copy` handle with nowhere to
+/// carry per-device state; tests run in parallel, so it only ever turns on.
+static STRICT_BOUNDS: AtomicBool = AtomicBool::new(false);
+
+/// Turn on release-mode `Buf::at` bounds panics for the rest of the process.
+pub fn enable_strict_bounds() {
+    STRICT_BOUNDS.store(true, Ordering::Relaxed);
+}
+
+/// Is strict bounds checking on?
+pub fn strict_bounds_enabled() -> bool {
+    STRICT_BOUNDS.load(Ordering::Relaxed)
+}
+
 /// Handle to a device allocation: a word-addressed range of global memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Buf {
@@ -14,10 +33,15 @@ pub struct Buf {
 }
 
 impl Buf {
-    /// Word address of element `i`; panics (in debug) past the end.
+    /// Word address of element `i`; panics past the end in debug builds,
+    /// and in release builds too once [`enable_strict_bounds`] has run
+    /// (any sanitizer-enabled device does that).
     #[inline]
     pub fn at(&self, i: u64) -> u64 {
         debug_assert!(i < self.len, "Buf index {i} out of {len}", len = self.len);
+        if i >= self.len && strict_bounds_enabled() {
+            panic!("Buf index {i} out of {len}", len = self.len);
+        }
         self.addr + i
     }
 
@@ -65,14 +89,17 @@ impl GlobalMem {
 
     /// Allocate `len` words (zero-initialized).
     pub fn alloc(&mut self, len: u64) -> Result<Buf, DeviceOom> {
-        if self.next + len > self.capacity_words {
+        // checked_add: `next + len` can wrap u64 before the capacity compare
+        // (same hazard as the Buf::slice offset overflow).
+        let end = self.next.checked_add(len).filter(|&e| e <= self.capacity_words);
+        let Some(end) = end else {
             return Err(DeviceOom {
                 requested_words: len,
                 free_words: self.capacity_words - self.next,
             });
-        }
+        };
         let addr = self.next;
-        self.next += len;
+        self.next = end;
         let needed = usize::try_from(self.next).expect("device capacity fits usize");
         if self.words.len() < needed {
             self.words.resize(needed, 0);
@@ -182,5 +209,25 @@ mod tests {
         // off + len wraps u64; must be rejected, not wrapped into bounds.
         let b = Buf { addr: 0, len: 10 };
         b.slice(u64::MAX, 2);
+    }
+
+    #[test]
+    fn alloc_overflowing_len_is_oom_not_wrap() {
+        // next + len wraps u64: must be a clean OOM, not a wrapped success.
+        let mut m = GlobalMem::new(100);
+        m.alloc(10).unwrap();
+        let err = m.alloc(u64::MAX - 4).unwrap_err();
+        assert_eq!(err.free_words, 90);
+        assert!(m.alloc(90).is_ok(), "allocator state intact after overflow attempt");
+    }
+
+    #[test]
+    #[should_panic(expected = "Buf index")]
+    fn strict_bounds_panics_in_release_too() {
+        // Sticky process-global flag: fine to set from a test, it only
+        // ever turns on and other tests don't index out of bounds.
+        enable_strict_bounds();
+        let b = Buf { addr: 0, len: 4 };
+        b.at(4);
     }
 }

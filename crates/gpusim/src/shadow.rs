@@ -1,0 +1,201 @@
+//! Shadow memory for the `gpucheck` memcheck analysis.
+//!
+//! Every device word below the bump allocator's high-water mark carries a
+//! shadow record: which allocation it belongs to and whether it has ever
+//! been written this epoch. The bump allocator leaves no gaps, so the
+//! classification rules are exact:
+//!
+//! * an address at or past the high-water mark has never been allocated —
+//!   **out of bounds**;
+//! * a word whose allocation epoch predates the last [`ShadowMemory::on_reset`]
+//!   is reachable only through a stale [`Buf`](crate::mem::Buf) handle —
+//!   **use after reset**;
+//! * a word allocated without the `cudaMemset` guarantee
+//!   ([`crate::device::Device::alloc_uninit`]) and never stored to —
+//!   **uninitialized read**.
+//!
+//! The shadow grows lazily with allocations, never to device capacity, so a
+//! 16 GB simulated device costs only as much shadow as the run actually
+//! allocates.
+
+/// Lifecycle state of one shadow word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WordState {
+    /// Allocated this epoch, never written (only possible via
+    /// `alloc_uninit`; plain `alloc` models `cudaMemset`-zeroed memory).
+    Uninit,
+    /// Allocated this epoch and defined (zero-filled alloc, host copy, or
+    /// device store).
+    Init,
+    /// Belonged to an allocation freed by an arena reset.
+    Freed,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ShadowWord {
+    /// 1-based allocation id (0 = never allocated, unused in practice).
+    alloc: u32,
+    state: WordState,
+}
+
+/// Provenance record for one allocation.
+#[derive(Debug, Clone)]
+pub struct AllocRecord {
+    /// First word address.
+    pub addr: u64,
+    /// Length in words.
+    pub len: u64,
+    /// Arena epoch (reset count at allocation time).
+    pub epoch: u32,
+    /// False once the arena has been reset.
+    pub live: bool,
+}
+
+/// What the memcheck classification found for one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MemIssue {
+    /// Address at or beyond the allocator's high-water mark.
+    OutOfBounds,
+    /// Address inside an allocation invalidated by an arena reset.
+    UseAfterReset { alloc: u32 },
+    /// Load from a live word that was never written.
+    UninitRead { alloc: u32 },
+}
+
+/// Per-word shadow state plus the allocation table.
+#[derive(Debug, Default)]
+pub struct ShadowMemory {
+    words: Vec<ShadowWord>,
+    allocs: Vec<AllocRecord>,
+    epoch: u32,
+}
+
+impl ShadowMemory {
+    pub fn new() -> ShadowMemory {
+        ShadowMemory::default()
+    }
+
+    /// Record an allocation; returns its 1-based id. `initialized` is true
+    /// for the zero-filling [`alloc`](crate::device::Device::alloc) path.
+    pub(crate) fn on_alloc(&mut self, addr: u64, len: u64, initialized: bool) -> u32 {
+        self.allocs.push(AllocRecord { addr, len, epoch: self.epoch, live: true });
+        let id = self.allocs.len() as u32;
+        let state = if initialized { WordState::Init } else { WordState::Uninit };
+        let end = usize::try_from(addr + len).expect("shadow address fits usize");
+        if self.words.len() < end {
+            self.words.resize(end, ShadowWord { alloc: 0, state: WordState::Freed });
+        }
+        let start = usize::try_from(addr).expect("shadow address fits usize");
+        for w in &mut self.words[start..end] {
+            *w = ShadowWord { alloc: id, state };
+        }
+        id
+    }
+
+    /// Arena reset: every live word becomes [`WordState::Freed`], every
+    /// live allocation dead. Old shadow is kept so stale-`Buf` accesses can
+    /// still name the allocation they point into.
+    pub(crate) fn on_reset(&mut self) {
+        self.epoch += 1;
+        for a in &mut self.allocs {
+            a.live = false;
+        }
+        for w in &mut self.words {
+            w.state = WordState::Freed;
+        }
+    }
+
+    /// Host-side copy into `[addr, addr+len)`: marks the words defined.
+    pub(crate) fn on_host_write(&mut self, addr: u64, len: u64) {
+        let start = usize::try_from(addr).expect("shadow address fits usize");
+        let end =
+            (start + usize::try_from(len).expect("shadow length fits usize")).min(self.words.len());
+        for w in self.words.iter_mut().take(end).skip(start) {
+            if w.state == WordState::Uninit {
+                w.state = WordState::Init;
+            }
+        }
+    }
+
+    /// A device store landed on `addr`: the word is now defined.
+    pub(crate) fn mark_written(&mut self, addr: u64) {
+        if let Some(w) = self.words.get_mut(usize::try_from(addr).unwrap_or(usize::MAX)) {
+            if w.state == WordState::Uninit {
+                w.state = WordState::Init;
+            }
+        }
+    }
+
+    /// Classify a device access. `is_load` distinguishes uninitialized
+    /// reads (stores to uninitialized words are the *defining* access).
+    pub(crate) fn classify(&self, addr: u64, is_load: bool) -> Option<MemIssue> {
+        let Ok(i) = usize::try_from(addr) else {
+            return Some(MemIssue::OutOfBounds);
+        };
+        let Some(w) = self.words.get(i) else {
+            return Some(MemIssue::OutOfBounds);
+        };
+        match w.state {
+            WordState::Freed => Some(MemIssue::UseAfterReset { alloc: w.alloc }),
+            WordState::Uninit if is_load => Some(MemIssue::UninitRead { alloc: w.alloc }),
+            _ => None,
+        }
+    }
+
+    /// The allocation record behind a 1-based id from [`MemIssue`].
+    pub fn alloc_record(&self, id: u32) -> Option<&AllocRecord> {
+        (id >= 1).then(|| self.allocs.get(id as usize - 1)).flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_classifies_in_and_out_of_bounds() {
+        let mut s = ShadowMemory::new();
+        s.on_alloc(0, 16, true);
+        assert_eq!(s.classify(0, true), None);
+        assert_eq!(s.classify(15, false), None);
+        assert_eq!(s.classify(16, true), Some(MemIssue::OutOfBounds));
+    }
+
+    #[test]
+    fn uninit_read_until_written() {
+        let mut s = ShadowMemory::new();
+        let id = s.on_alloc(0, 4, false);
+        assert_eq!(s.classify(2, true), Some(MemIssue::UninitRead { alloc: id }));
+        // A store is the defining access, not an error.
+        assert_eq!(s.classify(2, false), None);
+        s.mark_written(2);
+        assert_eq!(s.classify(2, true), None);
+        // Other words stay undefined.
+        assert_eq!(s.classify(3, true), Some(MemIssue::UninitRead { alloc: id }));
+    }
+
+    #[test]
+    fn reset_frees_and_keeps_provenance() {
+        let mut s = ShadowMemory::new();
+        let id = s.on_alloc(0, 8, true);
+        s.on_reset();
+        assert_eq!(s.classify(3, true), Some(MemIssue::UseAfterReset { alloc: id }));
+        let rec = s.alloc_record(id).expect("provenance survives reset");
+        assert!(!rec.live);
+        // Re-allocating the words makes them valid again (arena reuse).
+        let id2 = s.on_alloc(0, 8, true);
+        assert_eq!(s.classify(3, true), None);
+        assert!(s.alloc_record(id2).expect("new record").live);
+    }
+
+    #[test]
+    fn host_write_defines_words() {
+        let mut s = ShadowMemory::new();
+        s.on_alloc(0, 8, false);
+        s.on_host_write(2, 3);
+        assert!(s.classify(1, true).is_some());
+        assert_eq!(s.classify(2, true), None);
+        assert_eq!(s.classify(4, true), None);
+        assert!(s.classify(5, true).is_some());
+    }
+}

@@ -12,6 +12,7 @@
 
 use crate::counters::{Counters, InstClass};
 use crate::mem::GlobalMem;
+use crate::sanitizer::{AccessKind, Sanitizer};
 
 /// Lanes per warp (NVIDIA hardware constant).
 pub const WARP: usize = 32;
@@ -34,6 +35,8 @@ pub struct WarpCtx<'a> {
     local: Vec<u64>,
     local_words_per_lane: usize,
     sector_words: u64,
+    /// `gpucheck` dynamic checker, when the device config enables it.
+    sanitizer: Option<&'a mut Sanitizer>,
 }
 
 impl<'a> WarpCtx<'a> {
@@ -43,7 +46,11 @@ impl<'a> WarpCtx<'a> {
         counters: &'a mut Counters,
         local_words_per_lane: usize,
         sector_bytes: u32,
+        mut sanitizer: Option<&'a mut Sanitizer>,
     ) -> WarpCtx<'a> {
+        if let Some(s) = sanitizer.as_mut() {
+            s.begin_warp();
+        }
         WarpCtx {
             warp_id,
             mem,
@@ -53,6 +60,38 @@ impl<'a> WarpCtx<'a> {
             local: vec![0; local_words_per_lane * WARP],
             local_words_per_lane,
             sector_words: u64::from(sector_bytes) / 8,
+            sanitizer,
+        }
+    }
+
+    /// Annotate the kernel site (phase name) subsequent sanitizer reports
+    /// should carry. A no-op when the sanitizer is off.
+    pub fn set_site(&mut self, site: &'static str) {
+        if let Some(s) = self.sanitizer.as_mut() {
+            s.set_site(site);
+        }
+    }
+
+    /// Kernel body returned: synccheck the residual mask stack. Called by
+    /// the device after every kernel invocation.
+    pub(crate) fn finish_warp(&mut self) {
+        let depth = self.mask_stack.len();
+        let warp = self.warp_id;
+        if let Some(s) = self.sanitizer.as_mut() {
+            s.end_warp(warp, depth);
+        }
+    }
+
+    /// Sanitizer check for one lane's global access. `true` = proceed with
+    /// the physical access; `false` = memcheck found it invalid (loads then
+    /// yield 0, stores and atomics are dropped). Accounting is unaffected
+    /// either way so clean-run counters are identical sanitizer on or off.
+    #[inline]
+    fn sanitize_access(&mut self, lane: usize, addr: u64, kind: AccessKind) -> bool {
+        let warp = self.warp_id;
+        match self.sanitizer.as_mut() {
+            Some(s) => s.global_access(warp, lane, addr, kind),
+            None => true,
         }
     }
 
@@ -155,7 +194,9 @@ impl<'a> WarpCtx<'a> {
                 continue;
             }
             if let Some(addr) = addrs[lane] {
-                out[lane] = self.mem.read(addr);
+                if self.sanitize_access(lane, addr, AccessKind::Read) {
+                    out[lane] = self.mem.read(addr);
+                }
                 participating += 1;
                 sectors.push(addr / self.sector_words);
             }
@@ -178,7 +219,9 @@ impl<'a> WarpCtx<'a> {
                 continue;
             }
             if let Some(addr) = addrs[lane] {
-                self.mem.write(addr, vals[lane]);
+                if self.sanitize_access(lane, addr, AccessKind::Write) {
+                    self.mem.write(addr, vals[lane]);
+                }
                 participating += 1;
                 sectors.push(addr / self.sector_words);
             }
@@ -226,11 +269,13 @@ impl<'a> WarpCtx<'a> {
                 continue;
             }
             if let Some((addr, expected, new)) = ops[lane] {
-                let old = self.mem.read(addr);
-                if old == expected {
-                    self.mem.write(addr, new);
+                if self.sanitize_access(lane, addr, AccessKind::Atomic) {
+                    let old = self.mem.read(addr);
+                    if old == expected {
+                        self.mem.write(addr, new);
+                    }
+                    out[lane] = old;
                 }
-                out[lane] = old;
                 participating += 1;
                 sectors.push(addr / self.sector_words);
             }
@@ -253,9 +298,11 @@ impl<'a> WarpCtx<'a> {
                 continue;
             }
             if let Some((addr, val)) = ops[lane] {
-                let old = self.mem.read(addr);
-                self.mem.write(addr, old.wrapping_add(val));
-                out[lane] = old;
+                if self.sanitize_access(lane, addr, AccessKind::Atomic) {
+                    let old = self.mem.read(addr);
+                    self.mem.write(addr, old.wrapping_add(val));
+                    out[lane] = old;
+                }
                 participating += 1;
                 sectors.push(addr / self.sector_words);
             }
@@ -271,6 +318,10 @@ impl<'a> WarpCtx<'a> {
 
     /// `__shfl_sync`: every active lane reads `vals[src_lane]`.
     pub fn shfl(&mut self, vals: &Lanes<u64>, src_lane: usize) -> Lanes<u64> {
+        let (warp, mask) = (self.warp_id, self.mask);
+        if let Some(s) = self.sanitizer.as_mut() {
+            s.shuffle(warp, src_lane, mask);
+        }
         self.counters.record(InstClass::Shuffle, 1, self.active_count());
         let v = vals[src_lane];
         let mut out = *vals;
@@ -281,6 +332,10 @@ impl<'a> WarpCtx<'a> {
     /// `__ballot_sync`: bit `i` of the result is set iff lane `i` is active
     /// and its predicate is true.
     pub fn ballot(&mut self, preds: &Lanes<bool>) -> u32 {
+        let (warp, mask) = (self.warp_id, self.mask);
+        if let Some(s) = self.sanitizer.as_mut() {
+            s.collective(warp, mask);
+        }
         self.counters.record(InstClass::Shuffle, 1, self.active_count());
         let mut bits = 0u32;
         self.for_each_active(|lane| {
@@ -294,6 +349,10 @@ impl<'a> WarpCtx<'a> {
     /// `__match_any_sync`: for each active lane, the mask of active lanes
     /// holding an equal value. Inactive lanes get 0.
     pub fn match_any(&mut self, vals: &Lanes<u64>) -> Lanes<u32> {
+        let (warp, mask) = (self.warp_id, self.mask);
+        if let Some(s) = self.sanitizer.as_mut() {
+            s.collective(warp, mask);
+        }
         self.counters.record(InstClass::Shuffle, 1, self.active_count());
         let mut out = [0u32; WARP];
         for lane in 0..WARP {
@@ -312,8 +371,14 @@ impl<'a> WarpCtx<'a> {
     }
 
     /// `__syncwarp`: counts a sync instruction (execution here is already
-    /// lockstep, so this is purely an accounting event).
+    /// lockstep, so this is purely an accounting event). Under racecheck it
+    /// also delimits the unsynced region — accesses before and after a
+    /// `syncwarp` are ordered, not racing.
     pub fn syncwarp(&mut self) {
+        let (warp, mask) = (self.warp_id, self.mask);
+        if let Some(s) = self.sanitizer.as_mut() {
+            s.sync_point(warp, mask);
+        }
         self.counters.record(InstClass::Sync, 1, self.active_count());
     }
 
@@ -420,7 +485,7 @@ mod tests {
         // Preallocate a working buffer at addr 0.
         mem.alloc(4096).unwrap();
         let mut counters = Counters::new();
-        let mut ctx = WarpCtx::new(0, &mut mem, &mut counters, 64, 32);
+        let mut ctx = WarpCtx::new(0, &mut mem, &mut counters, 64, 32, None);
         f(&mut ctx);
         counters
     }
@@ -607,5 +672,80 @@ mod tests {
             assert_eq!(ctx.first_active_lane(), Some(2));
             ctx.pop_mask();
         });
+    }
+
+    mod sanitized {
+        use super::*;
+        use crate::sanitizer::{Sanitizer, SanitizerConfig, SanitizerKind};
+
+        fn with_sanitized_ctx(f: impl FnOnce(&mut WarpCtx)) -> (Sanitizer, Counters) {
+            let mut mem = GlobalMem::new(1 << 16);
+            mem.alloc(4096).unwrap();
+            let mut counters = Counters::new();
+            let mut s = Sanitizer::new(SanitizerConfig::full());
+            s.on_alloc(0, 4096, true);
+            {
+                let mut ctx = WarpCtx::new(0, &mut mem, &mut counters, 64, 32, Some(&mut s));
+                f(&mut ctx);
+                ctx.finish_warp();
+            }
+            (s, counters)
+        }
+
+        #[test]
+        fn oob_load_is_dropped_but_still_metered() {
+            // Address 5000 is past the 4096-word arena; the raw GlobalMem
+            // would panic on it — the sanitizer reports and skips instead.
+            let (s, c) = with_sanitized_ctx(|ctx| {
+                let out = ctx.ld_global_lane(0, 5000);
+                assert_eq!(out, 0);
+            });
+            assert_eq!(s.summary().count(SanitizerKind::OutOfBounds), 1);
+            assert_eq!(c.ldst_global_inst, 1);
+            assert_eq!(c.global_ld_transactions, 1);
+        }
+
+        #[test]
+        fn clean_kernel_reports_nothing() {
+            let (s, _) = with_sanitized_ctx(|ctx| {
+                let addrs = ctx.lanes_from(|l| Some(l as u64));
+                let vals = ctx.lanes_from(|l| l as u64);
+                ctx.st_global(&addrs, &vals);
+                ctx.syncwarp();
+                ctx.ld_global(&addrs);
+                let ops = ctx.lanes_from(|_| Some((100u64, 1u64)));
+                ctx.atomic_add(&ops);
+            });
+            assert!(s.summary().is_clean(), "{}", s.summary().render());
+        }
+
+        #[test]
+        fn same_word_stores_race_without_sync() {
+            let (s, _) = with_sanitized_ctx(|ctx| {
+                let addrs = ctx.lanes_from(|_| Some(7u64));
+                let vals = ctx.lanes_from(|l| l as u64);
+                ctx.st_global(&addrs, &vals);
+            });
+            assert!(s.summary().count(SanitizerKind::LaneRace) > 0);
+        }
+
+        #[test]
+        fn unpopped_mask_reported_at_exit() {
+            let (s, _) = with_sanitized_ctx(|ctx| {
+                ctx.push_mask(0xF);
+            });
+            assert_eq!(s.summary().count(SanitizerKind::MaskStackImbalance), 1);
+        }
+
+        #[test]
+        fn shfl_from_masked_out_lane_reported() {
+            let (s, _) = with_sanitized_ctx(|ctx| {
+                let vals = ctx.lanes_from(|l| l as u64);
+                ctx.push_mask(0b10); // lane 1 only; src lane 0 is inactive
+                ctx.shfl(&vals, 0);
+                ctx.pop_mask();
+            });
+            assert_eq!(s.summary().count(SanitizerKind::ShuffleInactiveSrc), 1);
+        }
     }
 }

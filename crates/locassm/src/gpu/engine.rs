@@ -15,7 +15,9 @@ use crate::gpu::pack::{estimate_task_words, pack_batch};
 use crate::params::{LocalAssemblyParams, WalkState};
 use crate::task::{panic_reason, ExtResult, ExtTask, TaskOutcome};
 use bioseq::DnaSeq;
-use gpusim::{Counters, Device, DeviceConfig, DeviceOom, LaunchError, RooflineReport};
+use gpusim::{
+    Counters, Device, DeviceConfig, DeviceOom, LaunchError, RooflineReport, SanitizerSummary,
+};
 
 /// Knobs of the recovery ladder (inject → retry → shrink → reset+backoff →
 /// CPU fallback → skip).
@@ -104,6 +106,9 @@ pub struct GpuRunStats {
     pub peak_mem_words: u64,
     /// Recovery-ladder bookkeeping.
     pub recovery: RecoveryStats,
+    /// `gpucheck` findings drained from the device (empty and disabled
+    /// unless the device was configured with a sanitizer).
+    pub sanitizer: SanitizerSummary,
 }
 
 impl Default for GpuRunStats {
@@ -123,6 +128,7 @@ impl GpuRunStats {
             seconds: 0.0,
             peak_mem_words: 0,
             recovery: RecoveryStats::default(),
+            sanitizer: SanitizerSummary::default(),
         }
     }
 
@@ -141,6 +147,7 @@ impl GpuRunStats {
         self.seconds += other.seconds;
         self.peak_mem_words = self.peak_mem_words.max(other.peak_mem_words);
         self.recovery.absorb(&other.recovery);
+        self.sanitizer.absorb(&other.sanitizer);
     }
 }
 
@@ -427,6 +434,9 @@ impl GpuLocalAssembler {
         stats.batches += 1;
         stats.counters.merge(&launch.counters);
         stats.seconds += launch.timing.total_seconds();
+        if let Some(s) = self.device.take_sanitizer_summary() {
+            stats.sanitizer.absorb(&s);
+        }
 
         // Unpack output records, validating against corruption.
         let mut out = Vec::with_capacity(batch.n_exts);
@@ -660,6 +670,45 @@ mod tests {
         let failed = outcomes.iter().filter(|o| o.is_failed()).count();
         assert!(failed > 0, "failures must be reported, not hidden");
         assert_eq!(failed, stats.recovery.failed_tasks);
+    }
+
+    #[test]
+    fn sanitized_runs_stay_clean_and_match_cpu() {
+        use gpusim::SanitizerConfig;
+        let tasks = make_test_tasks(8);
+        let params = LocalAssemblyParams::for_tests();
+        let cpu = extend_all_cpu(&tasks, &params);
+        for version in [KernelVersion::V1, KernelVersion::V2] {
+            let mut eng = GpuLocalAssembler::new(
+                DeviceConfig::v100().with_sanitizer(SanitizerConfig::full()),
+                LocalAssemblyParams::for_tests(),
+                version,
+            );
+            let (gpu, stats) = eng.extend_tasks(&tasks);
+            assert_eq!(cpu, gpu, "{version:?} diverged under the sanitizer");
+            assert!(stats.sanitizer.enabled, "summary must record the sanitizer ran");
+            assert!(
+                stats.sanitizer.is_clean(),
+                "{version:?} must be finding-free:\n{}",
+                stats.sanitizer.render()
+            );
+        }
+    }
+
+    #[test]
+    fn sanitizer_counters_match_unsanitized_run() {
+        use gpusim::SanitizerConfig;
+        let tasks = make_test_tasks(4);
+        let (_, plain) = engine(KernelVersion::V2).extend_tasks(&tasks);
+        let mut eng = GpuLocalAssembler::new(
+            DeviceConfig::v100().with_sanitizer(SanitizerConfig::full()),
+            LocalAssemblyParams::for_tests(),
+            KernelVersion::V2,
+        );
+        let (_, checked) = eng.extend_tasks(&tasks);
+        // The sanitizer observes; it must not perturb the roofline inputs.
+        assert_eq!(plain.counters.warp_insts(), checked.counters.warp_insts());
+        assert_eq!(plain.counters.ldst_global_inst, checked.counters.ldst_global_inst);
     }
 
     #[test]

@@ -54,8 +54,9 @@ pub fn extension_kernel_v2(ctx: &mut WarpCtx, batch: &GpuBatch, params: &LocalAs
     let e = ctx.warp_id as u64;
 
     // ---- load extension metadata (8 words, lanes 0..8, then broadcast) ----
-    let meta_base = batch.ext_meta.addr + e * EXT_META_WORDS;
-    let addrs = ctx.lanes_from(|l| (l < EXT_META_WORDS as usize).then(|| meta_base + l as u64));
+    ctx.set_site("v2::load_meta");
+    let meta = batch.ext_meta.slice(e * EXT_META_WORDS, EXT_META_WORDS);
+    let addrs = ctx.lanes_from(|l| (l < EXT_META_WORDS as usize).then(|| meta.at(l as u64)));
     let m = ctx.ld_global(&addrs);
     // Distribute the eight values to all lanes (one shuffle round).
     let _ = ctx.shfl(&m, 0);
@@ -68,24 +69,25 @@ pub fn extension_kernel_v2(ctx: &mut WarpCtx, batch: &GpuBatch, params: &LocalAs
     let tail_off = m[6];
     let tail_len = m[7] as usize;
 
-    let out_base = batch.out.addr + e * batch.out_stride;
+    let out = batch.out.slice(e * batch.out_stride, batch.out_stride);
     if n_reads == 0 {
         // Bin-1 style early exit: store an empty result.
-        ctx.st_global_lane(0, out_base, 0);
-        ctx.st_global_lane(
-            0,
-            out_base + 1,
-            layout::encode_out_header(WalkState::DeadEnd.to_u64(), 0),
-        );
+        ctx.st_global_lane(0, out.at(0), 0);
+        ctx.st_global_lane(0, out.at(1), layout::encode_out_header(WalkState::DeadEnd.to_u64(), 0));
         return;
     }
 
+    // Warp-local table regions carved out of the shared slab/visited arenas.
+    let ht = batch.slab.slice(ht_off, ht_slots * ENTRY_WORDS);
+    let vis = batch.visited.slice(vis_off, vis_slots * VIS_ENTRY_WORDS);
+
     // ---- copy the contig tail into the working window (lane 0 local) ----
+    ctx.set_site("v2::tail_copy");
     ctx.push_mask(1);
     {
         let tail_words = (tail_len as u64).div_ceil(32);
         for w in 0..tail_words {
-            let word = ctx.ld_global_lane(0, batch.tails.addr + tail_off + w);
+            let word = ctx.ld_global_lane(0, batch.tails.at(tail_off + w));
             let n_here = (tail_len - (w as usize) * 32).min(32);
             for b in 0..n_here {
                 ctx.int_ops(2);
@@ -116,17 +118,18 @@ pub fn extension_kernel_v2(ctx: &mut WarpCtx, batch: &GpuBatch, params: &LocalAs
         if budget == 0 || work_len < k {
             walk_state = WalkState::DeadEnd;
         } else {
-            build_table_v2(ctx, batch, read_slot_start, n_reads, ht_off, ht_slots, k, iter_tag);
+            build_table_v2(ctx, batch, read_slot_start, n_reads, ht, ht_slots, k, iter_tag);
 
             // ---- DNA walk: lane 0 only ----
+            ctx.set_site("v2::walk");
             ctx.push_mask(1);
             let max_steps = params.max_walk_len.min(budget);
             let (state, n_app) = dna_walk_lane0(
                 ctx,
                 batch,
-                ht_off,
+                ht,
                 ht_slots,
-                vis_off,
+                vis,
                 vis_slots,
                 k,
                 iter_tag,
@@ -158,13 +161,10 @@ pub fn extension_kernel_v2(ctx: &mut WarpCtx, batch: &GpuBatch, params: &LocalAs
     }
 
     // ---- store the output record (lane 0) ----
+    ctx.set_site("v2::store_out");
     ctx.push_mask(1);
-    ctx.st_global_lane(0, out_base, appended_total as u64);
-    ctx.st_global_lane(
-        0,
-        out_base + 1,
-        layout::encode_out_header(final_state.to_u64(), iterations),
-    );
+    ctx.st_global_lane(0, out.at(0), appended_total as u64);
+    ctx.st_global_lane(0, out.at(1), layout::encode_out_header(final_state.to_u64(), iterations));
     let out_words = (appended_total as u64).div_ceil(32);
     for w in 0..out_words {
         let mut word = 0u64;
@@ -174,15 +174,15 @@ pub fn extension_kernel_v2(ctx: &mut WarpCtx, batch: &GpuBatch, params: &LocalAs
             ctx.int_ops(2);
             word |= (code & 3) << (2 * b);
         }
-        ctx.st_global_lane(0, out_base + 2 + w, word);
+        ctx.st_global_lane(0, out.at(2 + w), word);
     }
     ctx.pop_mask();
 }
 
 /// Load the 3 metadata words of global read slot `slot` (lane-parallel).
 pub(crate) fn load_read_meta(ctx: &mut WarpCtx, batch: &GpuBatch, slot: u64) -> (u64, u64, u64) {
-    let base = batch.read_meta.addr + slot * READ_META_WORDS;
-    let addrs = ctx.lanes_from(|l| (l < READ_META_WORDS as usize).then(|| base + l as u64));
+    let meta = batch.read_meta.slice(slot * READ_META_WORDS, READ_META_WORDS);
+    let addrs = ctx.lanes_from(|l| (l < READ_META_WORDS as usize).then(|| meta.at(l as u64)));
     let m = ctx.ld_global(&addrs);
     let _ = ctx.shfl(&m, 0);
     (m[0], m[1], m[2])
@@ -195,11 +195,12 @@ fn build_table_v2(
     batch: &GpuBatch,
     read_slot_start: u64,
     n_reads: u64,
-    ht_off: u64,
+    ht: gpusim::Buf,
     ht_slots: u64,
     k: usize,
     iter_tag: u8,
 ) {
+    ctx.set_site("v2::build_table");
     for r in 0..n_reads {
         let slot_global = read_slot_start + r;
         let (bases_start, qual_start, rlen) = load_read_meta(ctx, batch, slot_global);
@@ -225,7 +226,7 @@ fn build_table_v2(
                     }
                     let p = j0 + l;
                     let span = (p + k) / 32 - p / 32 + 1;
-                    (w < span).then(|| batch.reads_bases.addr + bases_start + (p / 32 + w) as u64)
+                    (w < span).then(|| batch.reads_bases.at(bases_start + (p / 32 + w) as u64))
                 });
                 lane_words.push(ctx.ld_global(&addrs));
             }
@@ -234,7 +235,7 @@ fn build_table_v2(
             // Quality tier bit of the extension base (coalesced load).
             let qaddrs = ctx.lanes_from(|l| {
                 (l < lanes_here)
-                    .then(|| batch.reads_quals.addr + qual_start + ((j0 + l + k) / 64) as u64)
+                    .then(|| batch.reads_quals.at(qual_start + ((j0 + l + k) / 64) as u64))
             });
             let qwords = ctx.ld_global(&qaddrs);
             ctx.int_ops(2);
@@ -267,7 +268,7 @@ fn build_table_v2(
             let descs = ctx
                 .lanes_from(|l| encode_key(slot_global as u32, (j0 + l) as u16, iter_tag, k as u8));
             probe_and_vote_v2(
-                ctx, batch, ht_off, ht_slots, mask, &kms, &hashes, &descs, &ext_codes, &hi_tier, k,
+                ctx, batch, ht, ht_slots, mask, &kms, &hashes, &descs, &ext_codes, &hi_tier, k,
                 iter_tag,
             );
             ctx.pop_mask();
@@ -282,7 +283,7 @@ fn build_table_v2(
 fn probe_and_vote_v2(
     ctx: &mut WarpCtx,
     batch: &GpuBatch,
-    ht_off: u64,
+    ht: gpusim::Buf,
     ht_slots: u64,
     mask: u32,
     kms: &Lanes<Option<Kmer>>,
@@ -293,7 +294,7 @@ fn probe_and_vote_v2(
     k: usize,
     iter_tag: u8,
 ) {
-    let table_base = batch.slab.addr + ht_off;
+    ctx.set_site("v2::probe_insert");
     let mut slot: Lanes<u64> = [0; WARP];
     let mut pending: u32 = 0;
     for l in 0..WARP {
@@ -310,8 +311,8 @@ fn probe_and_vote_v2(
         ctx.int_ops(2); // slot -> address
 
         // 1. read the key word of each pending lane's slot.
-        let key_addrs = ctx
-            .lanes_from(|l| (pending & (1 << l) != 0).then(|| table_base + slot[l] * ENTRY_WORDS));
+        let key_addrs =
+            ctx.lanes_from(|l| (pending & (1 << l) != 0).then(|| ht.at(slot[l] * ENTRY_WORDS)));
         let keys = ctx.ld_global(&key_addrs);
 
         // 2. lanes whose slot is empty-or-stale try to claim it with CAS on
@@ -320,7 +321,7 @@ fn probe_and_vote_v2(
             if pending & (1 << l) == 0 || key_is_current(keys[l], iter_tag) {
                 None
             } else {
-                Some((table_base + slot[l] * ENTRY_WORDS, keys[l], descs[l]))
+                Some((ht.at(slot[l] * ENTRY_WORDS), keys[l], descs[l]))
             }
         });
         let claim_old = ctx.atomic_cas(&claim_ops);
@@ -339,13 +340,13 @@ fn probe_and_vote_v2(
         if !claimed.is_empty() {
             for off in [1u64, 2u64] {
                 let addrs = ctx.lanes_from(|l| {
-                    claimed.contains(&l).then(|| table_base + slot[l] * ENTRY_WORDS + off)
+                    claimed.contains(&l).then(|| ht.at(slot[l] * ENTRY_WORDS + off))
                 });
                 let zeros: Lanes<u64> = [0; WARP];
                 ctx.st_global(&addrs, &zeros);
             }
             for &l in &claimed {
-                entry[l] = Some(table_base + slot[l] * ENTRY_WORDS);
+                entry[l] = Some(ht.at(slot[l] * ENTRY_WORDS));
                 pending &= !(1 << l);
             }
         }
@@ -366,7 +367,7 @@ fn probe_and_vote_v2(
             let addrs = ctx.lanes_from(|l| {
                 cmp_lanes.contains(&l).then(|| {
                     let (rs, _, _, _) = decode_key(keys[l]);
-                    batch.read_meta.addr + u64::from(rs) * READ_META_WORDS
+                    batch.read_meta.at(u64::from(rs) * READ_META_WORDS)
                 })
             });
             let bases_starts = ctx.ld_global(&addrs);
@@ -384,8 +385,7 @@ fn probe_and_vote_v2(
                     let (_, pos, _, _) = decode_key(keys[l]);
                     let p = pos as usize;
                     let span = (p + k - 1) / 32 - p / 32 + 1;
-                    (w < span)
-                        .then(|| batch.reads_bases.addr + stored_meta[l] + (p / 32 + w) as u64)
+                    (w < span).then(|| batch.reads_bases.at(stored_meta[l] + (p / 32 + w) as u64))
                 });
                 stored_words.push(ctx.ld_global(&addrs));
             }
@@ -396,7 +396,7 @@ fn probe_and_vote_v2(
                 let words: Vec<u64> = (0..max_span).map(|w| stored_words[w][l]).collect();
                 let stored_km = Kmer::from_packed_words(&words, p % 32, k);
                 if Some(stored_km) == kms[l] {
-                    entry[l] = Some(table_base + slot[l] * ENTRY_WORDS);
+                    entry[l] = Some(ht.at(slot[l] * ENTRY_WORDS));
                     pending &= !(1 << l);
                 } else {
                     slot[l] = (slot[l] + 1) % ht_slots;
@@ -412,7 +412,14 @@ fn probe_and_vote_v2(
         );
     }
 
+    // Votes: claimers just plain-stored zeros into their entries' count
+    // words; lanes that matched an *existing* entry are about to atomic-add
+    // the very same words. Order the two phases — without this barrier that
+    // is a cross-lane plain-write/atomic race (and racecheck flags it).
+    ctx.syncwarp();
+
     // Votes: hi-tier counts and lo-tier counts.
+    ctx.set_site("v2::vote");
     let hi_ops = ctx.lanes_from(|l| {
         entry[l].and_then(|a| hi_tier[l].then(|| (a + 1, 1u64 << (16 * u64::from(ext_codes[l])))))
     });
@@ -430,9 +437,9 @@ fn probe_and_vote_v2(
 fn dna_walk_lane0(
     ctx: &mut WarpCtx,
     batch: &GpuBatch,
-    ht_off: u64,
+    ht: gpusim::Buf,
     ht_slots: u64,
-    vis_off: u64,
+    vis: gpusim::Buf,
     vis_slots: u64,
     k: usize,
     iter_tag: u8,
@@ -440,8 +447,6 @@ fn dna_walk_lane0(
     max_steps: usize,
     min_viable: u16,
 ) -> (WalkState, usize) {
-    let table_base = batch.slab.addr + ht_off;
-    let vis_base = batch.visited.addr + vis_off;
     let kmw = k.div_ceil(32);
     let mut work_len = work_len_in;
 
@@ -470,15 +475,15 @@ fn dna_walk_lane0(
         loop {
             ctx.ctrl_ops(1);
             let flag =
-                ctx.ld_global_lane(0, vis_base + vslot * VIS_ENTRY_WORDS + (VIS_ENTRY_WORDS - 1));
+                ctx.ld_global_lane(0, vis.at(vslot * VIS_ENTRY_WORDS + (VIS_ENTRY_WORDS - 1)));
             if !layout::vis_is_current(flag, iter_tag) {
                 // Not visited: insert cur (single writer, plain stores).
                 for (w, &val) in cur_words.iter().enumerate().take(VIS_ENTRY_WORDS as usize - 1) {
-                    ctx.st_global_lane(0, vis_base + vslot * VIS_ENTRY_WORDS + w as u64, val);
+                    ctx.st_global_lane(0, vis.at(vslot * VIS_ENTRY_WORDS + w as u64), val);
                 }
                 ctx.st_global_lane(
                     0,
-                    vis_base + vslot * VIS_ENTRY_WORDS + (VIS_ENTRY_WORDS - 1),
+                    vis.at(vslot * VIS_ENTRY_WORDS + (VIS_ENTRY_WORDS - 1)),
                     cur_tagged,
                 );
                 break;
@@ -486,7 +491,7 @@ fn dna_walk_lane0(
             // Occupied this generation: full compare.
             let mut same = flag == cur_tagged;
             for w in 0..(VIS_ENTRY_WORDS - 1) {
-                let stored = ctx.ld_global_lane(0, vis_base + vslot * VIS_ENTRY_WORDS + w);
+                let stored = ctx.ld_global_lane(0, vis.at(vslot * VIS_ENTRY_WORDS + w));
                 same &= stored == cur_words[w as usize];
             }
             ctx.int_ops(VIS_ENTRY_WORDS);
@@ -503,30 +508,27 @@ fn dna_walk_lane0(
         let mut probes = 0u64;
         loop {
             ctx.ctrl_ops(1);
-            let key = ctx.ld_global_lane(0, table_base + slot * ENTRY_WORDS);
+            let key = ctx.ld_global_lane(0, ht.at(slot * ENTRY_WORDS));
             if !key_is_current(key, iter_tag) {
                 return (WalkState::DeadEnd, appended);
             }
             // Pointer dereference for key comparison.
             let (rs, pos, _, _) = decode_key(key);
             let bases_start =
-                ctx.ld_global_lane(0, batch.read_meta.addr + u64::from(rs) * READ_META_WORDS);
+                ctx.ld_global_lane(0, batch.read_meta.at(u64::from(rs) * READ_META_WORDS));
             let p = pos as usize;
             let span = (p + k - 1) / 32 - p / 32 + 1;
             let mut words = Vec::with_capacity(span);
             for w in 0..span {
                 words.push(
-                    ctx.ld_global_lane(
-                        0,
-                        batch.reads_bases.addr + bases_start + (p / 32 + w) as u64,
-                    ),
+                    ctx.ld_global_lane(0, batch.reads_bases.at(bases_start + (p / 32 + w) as u64)),
                 );
             }
             ctx.int_ops(2 * kmw as u64 + 2);
             let stored_km = Kmer::from_packed_words(&words, p % 32, k);
             if stored_km == cur {
-                let hi = ctx.ld_global_lane(0, table_base + slot * ENTRY_WORDS + 1);
-                let lo = ctx.ld_global_lane(0, table_base + slot * ENTRY_WORDS + 2);
+                let hi = ctx.ld_global_lane(0, ht.at(slot * ENTRY_WORDS + 1));
+                let lo = ctx.ld_global_lane(0, ht.at(slot * ENTRY_WORDS + 2));
                 counts = ExtCounts::from_hi_lo_words(hi, lo);
                 break;
             }

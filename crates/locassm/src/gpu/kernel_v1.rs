@@ -61,11 +61,11 @@ pub fn extension_kernel_v1(
     ctx.push_mask(live_mask);
 
     // ---- load per-lane extension metadata (8 scattered rounds) ----
+    ctx.set_site("v1::load_meta");
     let mut meta = [[0u64; EXT_META_WORDS as usize]; WARP];
     for w in 0..EXT_META_WORDS {
         let addrs = ctx.lanes_from(|l| {
-            (l < lanes_here)
-                .then(|| batch.ext_meta.addr + (base_ext + l as u64) * EXT_META_WORDS + w)
+            (l < lanes_here).then(|| batch.ext_meta.at((base_ext + l as u64) * EXT_META_WORDS + w))
         });
         let vals = ctx.ld_global(&addrs);
         for l in 0..lanes_here {
@@ -93,6 +93,7 @@ pub fn extension_kernel_v1(
         .collect();
 
     // ---- copy tails into each lane's local window (scattered loads) ----
+    ctx.set_site("v1::tail_copy");
     let max_tail_words = lanes
         .iter()
         .filter(|s| !s.done)
@@ -102,7 +103,7 @@ pub fn extension_kernel_v1(
     for w in 0..max_tail_words {
         let addrs = ctx.lanes_from(|l| {
             (l < lanes_here && !lanes[l].done && w < (lanes[l].tail_len as u64).div_ceil(32))
-                .then(|| batch.tails.addr + meta[l][6] + w)
+                .then(|| batch.tails.at(meta[l][6] + w))
         });
         let words = ctx.ld_global(&addrs);
         for b in 0..32usize {
@@ -162,13 +163,14 @@ pub fn extension_kernel_v1(
     }
 
     // ---- store output records (scattered) ----
-    let out_addrs = ctx
-        .lanes_from(|l| (l < lanes_here).then(|| batch.out.addr + lanes[l].ext * batch.out_stride));
+    ctx.set_site("v1::store_out");
+    let out_addrs =
+        ctx.lanes_from(|l| (l < lanes_here).then(|| batch.out.at(lanes[l].ext * batch.out_stride)));
     let out_lens =
         ctx.lanes_from(|l| if l < lanes_here { lanes[l].appended_total as u64 } else { 0 });
     ctx.st_global(&out_addrs, &out_lens);
     let hdr_addrs = ctx.lanes_from(|l| {
-        (l < lanes_here).then(|| batch.out.addr + lanes[l].ext * batch.out_stride + 1)
+        (l < lanes_here).then(|| batch.out.at(lanes[l].ext * batch.out_stride + 1))
     });
     let hdrs = ctx.lanes_from(|l| {
         if l < lanes_here {
@@ -203,7 +205,7 @@ pub fn extension_kernel_v1(
         }
         let addrs = ctx.lanes_from(|l| {
             (l < lanes_here && w < (lanes[l].appended_total as u64).div_ceil(32))
-                .then(|| batch.out.addr + lanes[l].ext * batch.out_stride + 2 + w)
+                .then(|| batch.out.at(lanes[l].ext * batch.out_stride + 2 + w))
         });
         ctx.st_global(&addrs, &words);
     }
@@ -236,6 +238,7 @@ fn build_tables_lockstep(
     ks: &Lanes<usize>,
     tags: &Lanes<u8>,
 ) {
+    ctx.set_site("v1::build_table");
     let mut cursors: Lanes<BuildCursor> = [BuildCursor::default(); WARP];
     for &l in working {
         cursors[l] = BuildCursor::default();
@@ -280,9 +283,9 @@ fn build_tables_lockstep(
             for w in 0..READ_META_WORDS {
                 let addrs = ctx.lanes_from(|l| {
                     to_load.contains(&l).then(|| {
-                        batch.read_meta.addr
-                            + (lanes[l].read_slot_start + cursors[l].read) * READ_META_WORDS
-                            + w
+                        batch
+                            .read_meta
+                            .at((lanes[l].read_slot_start + cursors[l].read) * READ_META_WORDS + w)
                     })
                 });
                 let loaded = ctx.ld_global(&addrs);
@@ -316,7 +319,7 @@ fn build_tables_lockstep(
             let addrs = ctx.lanes_from(|l| {
                 (is_working(l) && !cursors[l].done && j <= ks[l]).then(|| {
                     let p = cursors[l].pos;
-                    batch.reads_bases.addr + cursors[l].bases_start + ((p + j) / 32) as u64
+                    batch.reads_bases.at(cursors[l].bases_start + ((p + j) / 32) as u64)
                 })
             });
             let loaded = ctx.ld_global(&addrs);
@@ -332,9 +335,7 @@ fn build_tables_lockstep(
         // Qualities of the extension base (scattered).
         let qaddrs = ctx.lanes_from(|l| {
             (is_working(l) && !cursors[l].done).then(|| {
-                batch.reads_quals.addr
-                    + cursors[l].qual_start
-                    + ((cursors[l].pos + ks[l]) / 64) as u64
+                batch.reads_quals.at(cursors[l].qual_start + ((cursors[l].pos + ks[l]) / 64) as u64)
             })
         });
         let qwords = ctx.ld_global(&qaddrs);
@@ -400,7 +401,9 @@ fn probe_and_vote_v1(
     }
     ctx.int_ops(2);
     let mut entry: Lanes<Option<u64>> = [None; WARP];
-    let entry_addr = |l: usize, s: u64| batch.slab.addr + lanes[l].ht_off + s * ENTRY_WORDS;
+    let entry_word =
+        |l: usize, s: u64, w: u64| batch.slab.at(lanes[l].ht_off + s * ENTRY_WORDS + w);
+    let entry_addr = |l: usize, s: u64| entry_word(l, s, 0);
     let mut guard = 0u64;
     let max_slots = (0..WARP)
         .filter(|&l| pending & (1 << l) != 0)
@@ -434,7 +437,7 @@ fn probe_and_vote_v1(
         if !claimed.is_empty() {
             for off in [1u64, 2u64] {
                 let addrs =
-                    ctx.lanes_from(|l| claimed.contains(&l).then(|| entry_addr(l, slot[l]) + off));
+                    ctx.lanes_from(|l| claimed.contains(&l).then(|| entry_word(l, slot[l], off)));
                 ctx.st_global(&addrs, &[0; WARP]);
             }
             for &l in &claimed {
@@ -451,7 +454,7 @@ fn probe_and_vote_v1(
             let addrs = ctx.lanes_from(|l| {
                 cmp.contains(&l).then(|| {
                     let (rs, _, _, _) = decode_key(keys[l]);
-                    batch.read_meta.addr + u64::from(rs) * READ_META_WORDS
+                    batch.read_meta.at(u64::from(rs) * READ_META_WORDS)
                 })
             });
             let bases_starts = ctx.ld_global(&addrs);
@@ -462,7 +465,7 @@ fn probe_and_vote_v1(
                 let addrs = ctx.lanes_from(|l| {
                     (cmp.contains(&l) && j < ks[l]).then(|| {
                         let (_, pos, _, _) = decode_key(keys[l]);
-                        batch.reads_bases.addr + bases_starts[l] + ((pos as usize + j) / 32) as u64
+                        batch.reads_bases.at(bases_starts[l] + ((pos as usize + j) / 32) as u64)
                     })
                 });
                 let loaded = ctx.ld_global(&addrs);
@@ -517,6 +520,7 @@ fn walk_lockstep(
     tags: &Lanes<u8>,
     walk_state: &mut Lanes<WalkState>,
 ) {
+    ctx.set_site("v1::walk");
     // Per-lane current k-mer, materialized from each lane's local window.
     let mut cur: Lanes<Option<Kmer>> = [None; WARP];
     let max_k = working.iter().map(|&l| ks[l]).max().unwrap_or(0);
@@ -582,10 +586,11 @@ fn walk_lockstep(
         while !vis_pending.is_empty() {
             ctx.push_mask(vis_pending.iter().map(|&l| 1u32 << l).sum());
             ctx.ctrl_ops(1);
-            let vaddr =
-                |l: usize| batch.visited.addr + lanes[l].vis_off + vslot[l] * VIS_ENTRY_WORDS;
-            let flag_addrs = ctx
-                .lanes_from(|l| vis_pending.contains(&l).then(|| vaddr(l) + VIS_ENTRY_WORDS - 1));
+            let vword = |l: usize, w: u64| {
+                batch.visited.at(lanes[l].vis_off + vslot[l] * VIS_ENTRY_WORDS + w)
+            };
+            let flag_addrs =
+                ctx.lanes_from(|l| vis_pending.contains(&l).then(|| vword(l, VIS_ENTRY_WORDS - 1)));
             let flags = ctx.ld_global(&flag_addrs);
             let mut to_insert: Vec<usize> = Vec::new();
             let mut to_compare: Vec<usize> = Vec::new();
@@ -598,7 +603,7 @@ fn walk_lockstep(
             }
             if !to_insert.is_empty() {
                 for w in 0..VIS_ENTRY_WORDS {
-                    let addrs = ctx.lanes_from(|l| to_insert.contains(&l).then(|| vaddr(l) + w));
+                    let addrs = ctx.lanes_from(|l| to_insert.contains(&l).then(|| vword(l, w)));
                     let vals = ctx.lanes_from(|l| {
                         if !to_insert.contains(&l) {
                             return 0;
@@ -618,7 +623,7 @@ fn walk_lockstep(
             if !to_compare.is_empty() {
                 let mut same: Lanes<bool> = [true; WARP];
                 for w in 0..VIS_ENTRY_WORDS - 1 {
-                    let addrs = ctx.lanes_from(|l| to_compare.contains(&l).then(|| vaddr(l) + w));
+                    let addrs = ctx.lanes_from(|l| to_compare.contains(&l).then(|| vword(l, w)));
                     let vals = ctx.ld_global(&addrs);
                     for &l in &to_compare {
                         let words =
@@ -661,9 +666,10 @@ fn walk_lockstep(
         while !probe_pending.is_empty() {
             ctx.push_mask(probe_pending.iter().map(|&l| 1u32 << l).sum());
             ctx.ctrl_ops(1);
-            let eaddr = |l: usize, s: u64| batch.slab.addr + lanes[l].ht_off + s * ENTRY_WORDS;
+            let eword =
+                |l: usize, s: u64, w: u64| batch.slab.at(lanes[l].ht_off + s * ENTRY_WORDS + w);
             let key_addrs =
-                ctx.lanes_from(|l| probe_pending.contains(&l).then(|| eaddr(l, slot[l])));
+                ctx.lanes_from(|l| probe_pending.contains(&l).then(|| eword(l, slot[l], 0)));
             let keys = ctx.ld_global(&key_addrs);
             let mut to_cmp: Vec<usize> = Vec::new();
             for &l in &probe_pending {
@@ -678,7 +684,7 @@ fn walk_lockstep(
                 let maddrs = ctx.lanes_from(|l| {
                     to_cmp.contains(&l).then(|| {
                         let (rs, _, _, _) = decode_key(keys[l]);
-                        batch.read_meta.addr + u64::from(rs) * READ_META_WORDS
+                        batch.read_meta.at(u64::from(rs) * READ_META_WORDS)
                     })
                 });
                 let bases_starts = ctx.ld_global(&maddrs);
@@ -688,9 +694,7 @@ fn walk_lockstep(
                     let addrs = ctx.lanes_from(|l| {
                         (to_cmp.contains(&l) && j < ks[l]).then(|| {
                             let (_, pos, _, _) = decode_key(keys[l]);
-                            batch.reads_bases.addr
-                                + bases_starts[l]
-                                + ((pos as usize + j) / 32) as u64
+                            batch.reads_bases.at(bases_starts[l] + ((pos as usize + j) / 32) as u64)
                         })
                     });
                     let loaded = ctx.ld_global(&addrs);
@@ -718,10 +722,10 @@ fn walk_lockstep(
                 }
                 if !matched.is_empty() {
                     let hi_addrs =
-                        ctx.lanes_from(|l| matched.contains(&l).then(|| eaddr(l, slot[l]) + 1));
+                        ctx.lanes_from(|l| matched.contains(&l).then(|| eword(l, slot[l], 1)));
                     let his = ctx.ld_global(&hi_addrs);
                     let lo_addrs =
-                        ctx.lanes_from(|l| matched.contains(&l).then(|| eaddr(l, slot[l]) + 2));
+                        ctx.lanes_from(|l| matched.contains(&l).then(|| eword(l, slot[l], 2)));
                     let los = ctx.ld_global(&lo_addrs);
                     for &l in &matched {
                         found_counts[l] = Some(ExtCounts::from_hi_lo_words(his[l], los[l]));

@@ -9,12 +9,12 @@
 
 use crate::iterative::{default_schedule, run_iterative};
 use crate::pipeline::{run_pipeline, EngineChoice, PipelineConfig};
-use crate::report::{render_breakdown, render_recovery};
+use crate::report::{render_breakdown, render_recovery, render_sanitizer};
 use crate::stats::{evaluate_against_refs, AssemblyStats};
 use bioseq::fastq::{self, NPolicy};
 use bioseq::DnaSeq;
 use datagen::{arcticsynth_like, wa_like};
-use gpusim::DeviceConfig;
+use gpusim::{DeviceConfig, SanitizerConfig};
 use locassm::gpu::KernelVersion;
 use std::collections::HashMap;
 use std::fs::File;
@@ -90,8 +90,10 @@ USAGE:
       Generate a synthetic community: reads_1.fastq, reads_2.fastq, refs.fasta.
 
   mhm2rs assemble --r1 FILE --r2 FILE --out DIR
-      [--k N] [--gpu] [--kernel v1|v2] [--iterative] [--refs FILE]
+      [--k N] [--gpu] [--kernel v1|v2] [--iterative] [--refs FILE] [--sanitize]
       Assemble paired FASTQ into contigs.fasta + scaffolds.fasta.
+      --sanitize runs the GPU engine under gpucheck (memcheck + racecheck +
+      synccheck) and appends its findings to the report; implies --gpu.
 ";
 
 /// Entry point shared by main() and the tests.
@@ -147,13 +149,18 @@ pub fn run_assemble(cli: &CliArgs) -> Result<String, String> {
     let pairs = fastq::pair_up(r1, r2).map_err(|e| e.to_string())?;
 
     let mut cfg = PipelineConfig { k: cli.get_num("k", 31)?, ..Default::default() };
-    if cli.has("gpu") || cli.get("kernel").is_some() {
+    let sanitize = cli.has("sanitize");
+    if sanitize || cli.has("gpu") || cli.get("kernel").is_some() {
         let version = match cli.get("kernel").unwrap_or("v2") {
             "v1" => KernelVersion::V1,
             "v2" => KernelVersion::V2,
             other => return Err(format!("unknown kernel {other} (v1|v2)")),
         };
-        cfg.engine = EngineChoice::Gpu { device: DeviceConfig::v100(), version };
+        let mut device = DeviceConfig::v100();
+        if sanitize {
+            device = device.with_sanitizer(SanitizerConfig::full());
+        }
+        cfg.engine = EngineChoice::Gpu { device, version };
     }
 
     let mut report = String::new();
@@ -184,6 +191,7 @@ pub fn run_assemble(cli: &CliArgs) -> Result<String, String> {
         if result.degraded() {
             report.push_str(&render_recovery(&result.stats));
         }
+        report.push_str(&render_sanitizer(&result.stats));
         let seqs: Vec<DnaSeq> =
             result.scaffolds.iter().map(|s| s.render(&result.contigs)).collect();
         (result.contigs, seqs)
@@ -326,6 +334,40 @@ mod tests {
         .expect("gpu assemble");
         let gpu = std::fs::read_to_string(dir.join("asm_gpu/contigs.fasta")).unwrap();
         assert_eq!(cpu, gpu);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sanitize_flag_reports_clean_gpu_run() {
+        let dir = std::env::temp_dir().join(format!("mhm2rs_sanitize_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_string_lossy().to_string();
+        run(&argv(&format!("simulate --out {out} --preset arctic --scale 0.01")))
+            .expect("simulate");
+
+        // --sanitize implies the GPU engine; a healthy run must come back
+        // clean and byte-identical to the unsanitized assembly.
+        let report = run(&argv(&format!(
+            "assemble --r1 {out}/reads_1.fastq --r2 {out}/reads_2.fastq --out {out}/asm \
+             --sanitize"
+        )))
+        .expect("sanitized assemble");
+        assert!(report.contains("gpucheck: clean"), "{report}");
+        let sanitized = std::fs::read_to_string(dir.join("asm/contigs.fasta")).unwrap();
+
+        let plain = run(&argv(&format!(
+            "assemble --r1 {out}/reads_1.fastq --r2 {out}/reads_2.fastq --out {out}/asm_gpu \
+             --gpu"
+        )))
+        .expect("gpu assemble");
+        let env_forced =
+            std::env::var(gpusim::SANITIZE_ENV).is_ok_and(|v| !v.is_empty() && v != "0");
+        if !env_forced {
+            assert!(!plain.contains("gpucheck"), "plain runs must not print the section: {plain}");
+        }
+        let unsanitized = std::fs::read_to_string(dir.join("asm_gpu/contigs.fasta")).unwrap();
+        assert_eq!(sanitized, unsanitized);
 
         let _ = std::fs::remove_dir_all(&dir);
     }

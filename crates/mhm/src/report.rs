@@ -59,6 +59,19 @@ pub fn render_recovery(stats: &PipelineStats) -> String {
     format!("DEGRADED RUN — local-assembly recovery ladder fired:\n{out}")
 }
 
+/// Render the `gpucheck` section of a `--sanitize` run: per-kind finding
+/// counts and the sampled reports, or a one-line all-clear. Empty when the
+/// run never enabled the sanitizer (CPU engine, or plain GPU run).
+pub fn render_sanitizer(stats: &PipelineStats) -> String {
+    let Some(summary) = stats.gpu.as_ref().map(|g| &g.sanitizer) else {
+        return String::new();
+    };
+    if !summary.enabled {
+        return String::new();
+    }
+    format!("\n{}", summary.render())
+}
+
 /// Render a generic aligned table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let ncols = headers.len();
@@ -122,6 +135,24 @@ mod tests {
     fn recovery_section_empty_for_clean_run() {
         let stats = PipelineStats::default();
         assert_eq!(render_recovery(&stats), "");
+    }
+
+    #[test]
+    fn sanitizer_section_empty_without_gpu_or_sanitizer() {
+        let stats = PipelineStats::default();
+        assert_eq!(render_sanitizer(&stats), "");
+        let stats =
+            PipelineStats { gpu: Some(locassm::gpu::GpuRunStats::default()), ..Default::default() };
+        assert_eq!(render_sanitizer(&stats), "", "sanitizer-off GPU runs print nothing");
+    }
+
+    #[test]
+    fn sanitizer_section_reports_clean_run() {
+        let mut gpu = locassm::gpu::GpuRunStats::default();
+        gpu.sanitizer.enabled = true;
+        let stats = PipelineStats { gpu: Some(gpu), ..Default::default() };
+        let s = render_sanitizer(&stats);
+        assert!(s.contains("gpucheck: clean"), "{s}");
     }
 
     #[test]
