@@ -65,9 +65,19 @@ impl BinStats {
 
 /// Sort task indices into the three bins (stable order within a bin).
 pub fn bin_tasks(tasks: &[ExtTask]) -> BinStats {
+    bin_by(tasks.iter().map(bin_of))
+}
+
+/// [`bin_tasks`] over borrowed tasks (scheduler shares are index lists into
+/// a task slice, never clones).
+pub fn bin_tasks_refs(tasks: &[&ExtTask]) -> BinStats {
+    bin_by(tasks.iter().map(|t| bin_of(t)))
+}
+
+fn bin_by(bins: impl Iterator<Item = Bin>) -> BinStats {
     let mut stats = BinStats::default();
-    for (i, t) in tasks.iter().enumerate() {
-        match bin_of(t) {
+    for (i, bin) in bins.enumerate() {
+        match bin {
             Bin::Zero => stats.zero.push(i),
             Bin::Small => stats.small.push(i),
             Bin::Large => stats.large.push(i),

@@ -119,20 +119,25 @@ pub fn extend_all_cpu_isolated(
     tasks: &[ExtTask],
     params: &LocalAssemblyParams,
 ) -> Vec<TaskOutcome> {
-    tasks
-        .par_iter()
-        .map(|t| {
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                extend_end_cpu(t, params)
-            })) {
-                Ok(r) => TaskOutcome::Done(r),
-                Err(payload) => TaskOutcome::Failed {
-                    contig: t.contig,
-                    reason: crate::task::panic_reason(payload),
-                },
-            }
-        })
-        .collect()
+    tasks.par_iter().map(|t| extend_one_isolated(t, params)).collect()
+}
+
+/// [`extend_all_cpu_isolated`] over borrowed tasks, so schedulers can hand
+/// the CPU engine a share by index without deep-cloning task data.
+pub fn extend_cpu_isolated_refs(
+    tasks: &[&ExtTask],
+    params: &LocalAssemblyParams,
+) -> Vec<TaskOutcome> {
+    tasks.par_iter().map(|t| extend_one_isolated(t, params)).collect()
+}
+
+fn extend_one_isolated(t: &ExtTask, params: &LocalAssemblyParams) -> TaskOutcome {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| extend_end_cpu(t, params))) {
+        Ok(r) => TaskOutcome::Done(r),
+        Err(payload) => {
+            TaskOutcome::Failed { contig: t.contig, reason: crate::task::panic_reason(payload) }
+        }
+    }
 }
 
 #[cfg(test)]

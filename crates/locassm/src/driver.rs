@@ -3,20 +3,30 @@
 //! MetaHipMer2 launches the driver function in a separate thread so that,
 //! while the GPU chews on bin 3 (the few contigs with the most candidate
 //! reads), the CPU keeps extending bin-2 contigs; whatever bin-2 work
-//! remains when the GPU returns is offloaded too. We reproduce the
-//! structure with a real host-side thread split: the GPU engine (on its
-//! simulated device) runs concurrently with the rayon CPU engine, the
-//! bin-2 work is divided by a configurable fraction, and the outcome
-//! reports both wall times and the simulated device time.
+//! remains when the GPU returns is offloaded too — a *dynamic* handoff.
+//!
+//! Two scheduling policies reproduce that:
+//!
+//! * [`SchedulePolicy::WorkSteal`] (default) — the deque scheduler of
+//!   [`crate::schedule`]: cost-estimated batches, GPU drains the
+//!   bin-3-first head, CPU steals from the bin-2 tail, whichever engine is
+//!   behind on its virtual clock takes the next batch.
+//! * [`SchedulePolicy::Static`] — the historical fixed `cpu_bin2_fraction`
+//!   split, kept as the comparison baseline. The CPU share is now dealt
+//!   **size-interleaved** (not a prefix of `bins.small`), so even the
+//!   static split is no longer biased by binning order.
 //!
 //! Functional output is engine-independent (the equivalence tests
-//! guarantee it), so the split fraction is purely a performance knob —
-//! exactly as in the paper.
+//! guarantee it), so the policy is purely a performance knob — exactly as
+//! in the paper. Both paths share task data by index; tasks are never
+//! deep-cloned per engine.
 
 use crate::binning::bin_tasks;
-use crate::cpu::extend_all_cpu_isolated;
+use crate::cpu::extend_cpu_isolated_refs;
+use crate::gpu::pack::estimate_task_words;
 use crate::gpu::{GpuLocalAssembler, GpuRunStats, KernelVersion};
 use crate::params::LocalAssemblyParams;
+use crate::schedule::{build_batches, run_work_steal, ScheduleReport, StealConfig};
 use crate::task::{ExtResult, ExtTask, TaskOutcome};
 use gpusim::DeviceConfig;
 use std::time::Instant;
@@ -24,11 +34,15 @@ use std::time::Instant;
 /// Why an overlapped run could not produce results at all. Per-task
 /// failures do NOT produce this — they degrade to skipped tasks, counted
 /// in [`OverlapOutcome::failed_tasks`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DriverError {
     /// An engine returned the wrong number of results for its task split —
     /// an internal invariant violation, not a recoverable device fault.
     ResultMismatch { expected: usize, got: usize },
+    /// The driver was configured with an out-of-domain knob (NaN or
+    /// out-of-range fraction, zero batch granularity, non-positive rate).
+    /// Rejected up front rather than silently misrouting work.
+    BadConfig { what: String },
 }
 
 impl std::fmt::Display for DriverError {
@@ -37,11 +51,27 @@ impl std::fmt::Display for DriverError {
             DriverError::ResultMismatch { expected, got } => {
                 write!(f, "engine returned {got} results for {expected} tasks")
             }
+            DriverError::BadConfig { what } => write!(f, "bad driver config: {what}"),
         }
     }
 }
 
 impl std::error::Error for DriverError {}
+
+/// How bin-2/bin-3 work is divided between the engines.
+#[derive(Debug, Clone)]
+pub enum SchedulePolicy {
+    /// Fixed split: this fraction of bin 2 stays on the CPU (0 = all bin 2
+    /// follows bin 3 onto the GPU; 1 = CPU does all of bin 2), dealt
+    /// size-interleaved. Bin 3 always goes to the GPU.
+    Static {
+        /// Fraction of bin-2 tasks kept on the CPU. Must be finite and in
+        /// `[0, 1]` — anything else is a [`DriverError::BadConfig`].
+        cpu_bin2_fraction: f64,
+    },
+    /// Deque work-stealing with cost-estimated batches (the tentpole).
+    WorkSteal(StealConfig),
+}
 
 /// Outcome of an overlapped run.
 #[derive(Debug)]
@@ -57,24 +87,25 @@ pub struct OverlapOutcome {
     /// Tasks that failed on every rung of the recovery ladder and were
     /// skipped (their contigs keep their current sequence).
     pub failed_tasks: usize,
-    /// The GPU engine branch panicked and its whole task share was re-run
+    /// The GPU engine branch panicked and its remaining share was re-run
     /// on the CPU engine.
     pub gpu_branch_fell_back: bool,
     /// Host wall seconds of the CPU side.
     pub cpu_wall_s: f64,
     /// Host wall seconds spent driving the GPU side (simulation cost).
     pub gpu_wall_s: f64,
-    /// Simulated device seconds of the GPU side.
+    /// Simulated device stats of the GPU side.
     pub gpu_stats: Option<GpuRunStats>,
+    /// What the scheduler did (shares, steals, virtual-clock model).
+    pub schedule: ScheduleReport,
 }
 
 /// The overlap driver.
 pub struct OverlapDriver {
     pub device: DeviceConfig,
     pub version: KernelVersion,
-    /// Fraction of bin-2 tasks kept on the CPU (0 = all bin 2 follows
-    /// bin 3 onto the GPU; 1 = CPU does all of bin 2).
-    pub cpu_bin2_fraction: f64,
+    /// Scheduling policy (default: work-stealing).
+    pub schedule: SchedulePolicy,
 }
 
 impl Default for OverlapDriver {
@@ -82,71 +113,204 @@ impl Default for OverlapDriver {
         OverlapDriver {
             device: DeviceConfig::v100(),
             version: KernelVersion::V2,
-            cpu_bin2_fraction: 0.5,
+            schedule: SchedulePolicy::WorkSteal(StealConfig::default()),
         }
     }
 }
 
 impl OverlapDriver {
+    /// The historical fixed-fraction driver (comparison baseline).
+    pub fn static_split(cpu_bin2_fraction: f64) -> OverlapDriver {
+        OverlapDriver {
+            schedule: SchedulePolicy::Static { cpu_bin2_fraction },
+            ..Default::default()
+        }
+    }
+
+    /// The work-stealing driver with default steal granularity.
+    pub fn work_stealing() -> OverlapDriver {
+        OverlapDriver::default()
+    }
+
+    fn validate(&self) -> Result<(), DriverError> {
+        let bad = |what: String| Err(DriverError::BadConfig { what });
+        match &self.schedule {
+            SchedulePolicy::Static { cpu_bin2_fraction: f } => {
+                if !f.is_finite() || !(0.0..=1.0).contains(f) {
+                    return bad(format!("cpu_bin2_fraction must be in [0, 1], got {f}"));
+                }
+            }
+            SchedulePolicy::WorkSteal(cfg) => {
+                if cfg.batch_words == 0 {
+                    return bad("batch_words must be >= 1".to_string());
+                }
+                if !cfg.cpu_words_per_s.is_finite() || cfg.cpu_words_per_s <= 0.0 {
+                    return bad(format!(
+                        "cpu_words_per_s must be positive and finite, got {}",
+                        cfg.cpu_words_per_s
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Run all tasks with CPU/GPU overlap.
     ///
     /// Device faults are handled inside the GPU engine's recovery ladder
     /// (retry → shrink → reset → CPU fallback); if the whole GPU branch
-    /// panics, its task share is re-run on the CPU engine with per-task
-    /// panic isolation, so a single bad task is skipped, never fatal.
+    /// panics, its remaining share is re-run on the CPU engine with
+    /// per-task panic isolation, so a single bad task is skipped, never
+    /// fatal.
     pub fn run(
         &self,
         tasks: &[ExtTask],
         params: &LocalAssemblyParams,
     ) -> Result<OverlapOutcome, DriverError> {
+        self.validate()?;
         let bins = bin_tasks(tasks);
         let mut results: Vec<Option<TaskOutcome>> = vec![None; tasks.len()];
         for &i in &bins.zero {
             results[i] = Some(TaskOutcome::Done(ExtResult::empty()));
         }
 
-        // Split bin 2 between the engines; bin 3 always goes to the GPU
-        // first (the paper's scheduling).
-        let cpu_take = (bins.small.len() as f64 * self.cpu_bin2_fraction).round() as usize;
-        let (cpu_idx, gpu_small) = bins.small.split_at(cpu_take.min(bins.small.len()));
-        let gpu_idx: Vec<usize> = bins.large.iter().chain(gpu_small.iter()).copied().collect();
+        let (report, gpu_stats, fell_back, cpu_wall, gpu_wall, cpu_tasks, gpu_tasks) =
+            match &self.schedule {
+                SchedulePolicy::WorkSteal(cfg) => {
+                    let batches = build_batches(tasks, &bins, params, cfg.batch_words);
+                    let run = run_work_steal(
+                        tasks,
+                        &batches,
+                        params,
+                        self.device.clone(),
+                        self.version,
+                        cfg,
+                        &mut results,
+                    );
+                    (
+                        run.report,
+                        run.gpu_stats,
+                        run.gpu_branch_fell_back,
+                        run.cpu_wall_s,
+                        run.gpu_wall_s,
+                        run.cpu_tasks,
+                        run.gpu_tasks,
+                    )
+                }
+                SchedulePolicy::Static { cpu_bin2_fraction } => {
+                    self.run_static(tasks, &bins, params, *cpu_bin2_fraction, &mut results)?
+                }
+            };
 
-        let cpu_task_list: Vec<ExtTask> = cpu_idx.iter().map(|&i| tasks[i].clone()).collect();
-        let gpu_task_list: Vec<ExtTask> = gpu_idx.iter().map(|&i| tasks[i].clone()).collect();
+        let mut failed_tasks = 0usize;
+        let mut missing = 0usize;
+        let results: Vec<ExtResult> = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let outcome = r.unwrap_or_else(|| {
+                    missing += 1;
+                    TaskOutcome::Failed {
+                        contig: tasks[i].contig,
+                        reason: "task was never scheduled".to_string(),
+                    }
+                });
+                if outcome.is_failed() {
+                    failed_tasks += 1;
+                }
+                outcome.into_result()
+            })
+            .collect();
+        if missing > 0 {
+            return Err(DriverError::ResultMismatch {
+                expected: tasks.len(),
+                got: tasks.len() - missing,
+            });
+        }
+
+        Ok(OverlapOutcome {
+            results,
+            zero_tasks: bins.zero.len(),
+            cpu_tasks,
+            gpu_tasks,
+            failed_tasks,
+            gpu_branch_fell_back: fell_back,
+            cpu_wall_s: cpu_wall,
+            gpu_wall_s: gpu_wall,
+            gpu_stats,
+            schedule: report,
+        })
+    }
+
+    /// The fixed-fraction baseline: split bin 2 size-interleaved, bin 3 on
+    /// the GPU, both shares run back-to-back (rayon in this tree is the
+    /// vendored sequential stub, so join order is irrelevant to results).
+    #[allow(clippy::type_complexity)]
+    fn run_static(
+        &self,
+        tasks: &[ExtTask],
+        bins: &crate::binning::BinStats,
+        params: &LocalAssemblyParams,
+        fraction: f64,
+        results: &mut [Option<TaskOutcome>],
+    ) -> Result<(ScheduleReport, Option<GpuRunStats>, bool, f64, f64, usize, usize), DriverError>
+    {
+        // Deal bin 2 in descending size order, Bresenham-style, so the CPU
+        // share holds `fraction` of the *tasks* while both shares see the
+        // same size mix — the prefix-bias fix.
+        let cost = |i: usize| estimate_task_words(&tasks[i], params).max(1);
+        let mut small: Vec<(u64, usize)> = bins.small.iter().map(|&i| (cost(i), i)).collect();
+        small.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let (mut cpu_idx, mut gpu_small) = (Vec::new(), Vec::new());
+        let mut cpu_words = 0u64;
+        let mut gpu_words: u64 = bins.large.iter().map(|&i| cost(i)).sum();
+        for (j, (w, i)) in small.into_iter().enumerate() {
+            let take = ((j + 1) as f64 * fraction) as usize > (j as f64 * fraction) as usize;
+            if take {
+                cpu_idx.push(i);
+                cpu_words += w;
+            } else {
+                gpu_small.push(i);
+                gpu_words += w;
+            }
+        }
+        let gpu_idx: Vec<usize> = bins.large.iter().copied().chain(gpu_small).collect();
+
+        let cpu_refs: Vec<&ExtTask> = cpu_idx.iter().map(|&i| &tasks[i]).collect();
+        let gpu_refs: Vec<&ExtTask> = gpu_idx.iter().map(|&i| &tasks[i]).collect();
 
         let device = self.device.clone();
         let version = self.version;
         let params_gpu = params.clone();
-
-        // Genuine host-side overlap: the GPU simulation runs on one branch
-        // of a rayon join while the CPU engine's par_iter occupies the rest
-        // of the pool — the same structure as the paper's driver thread.
         let params_cpu = params.clone();
+
+        // Host-side overlap structure preserved: the GPU simulation runs on
+        // one branch of a rayon join while the CPU engine takes the other.
         let ((gpu_branch, gpu_wall), (cpu_results, cpu_wall)) = rayon::join(
-            move || {
+            || {
                 let t = Instant::now();
                 let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let mut engine = GpuLocalAssembler::new(device, params_gpu, version);
-                    engine.extend_tasks_outcomes(&gpu_task_list)
+                    engine.extend_tasks_outcomes_ref(&gpu_refs)
                 }));
                 (r, t.elapsed().as_secs_f64())
             },
-            move || {
+            || {
                 let t = Instant::now();
-                let r = extend_all_cpu_isolated(&cpu_task_list, &params_cpu);
+                let r = extend_cpu_isolated_refs(&cpu_refs, &params_cpu);
                 (r, t.elapsed().as_secs_f64())
             },
         );
 
         // A panic of the whole GPU branch (engine bug, not a device fault —
         // those are absorbed by the ladder) degrades to re-running its
-        // share on the CPU engine.
-        let (gpu_results, gpu_stats, gpu_branch_fell_back) = match gpu_branch {
+        // share on the CPU engine. The share is re-borrowed by index — the
+        // tasks themselves are never cloned.
+        let (gpu_results, gpu_stats, fell_back) = match gpu_branch {
             Ok((r, s)) => (r, Some(s), false),
             Err(_panic) => {
-                let gpu_task_list: Vec<ExtTask> =
-                    gpu_idx.iter().map(|&i| tasks[i].clone()).collect();
-                (extend_all_cpu_isolated(&gpu_task_list, params), None, true)
+                let refs: Vec<&ExtTask> = gpu_idx.iter().map(|&i| &tasks[i]).collect();
+                (extend_cpu_isolated_refs(&refs, params), None, true)
             }
         };
 
@@ -170,33 +334,16 @@ impl OverlapDriver {
             results[i] = Some(r);
         }
 
-        let mut failed_tasks = 0usize;
-        let results: Vec<ExtResult> = results
-            .into_iter()
-            .enumerate()
-            .map(|(i, r)| {
-                let outcome = r.unwrap_or(TaskOutcome::Failed {
-                    contig: tasks[i].contig,
-                    reason: "task was never scheduled".to_string(),
-                });
-                if outcome.is_failed() {
-                    failed_tasks += 1;
-                }
-                outcome.into_result()
-            })
-            .collect();
-
-        Ok(OverlapOutcome {
-            results,
-            zero_tasks: bins.zero.len(),
-            cpu_tasks: cpu_idx.len(),
-            gpu_tasks: gpu_idx.len(),
-            failed_tasks,
-            gpu_branch_fell_back,
-            cpu_wall_s: cpu_wall,
-            gpu_wall_s: gpu_wall,
-            gpu_stats,
-        })
+        let report = ScheduleReport {
+            policy: "static",
+            batches: 2,
+            gpu_batches: usize::from(!gpu_idx.is_empty()),
+            cpu_batches: usize::from(!cpu_idx.is_empty()),
+            cpu_est_words: cpu_words,
+            gpu_est_words: gpu_words,
+            ..Default::default()
+        };
+        Ok((report, gpu_stats, fell_back, cpu_wall, gpu_wall, cpu_idx.len(), gpu_idx.len()))
     }
 }
 
@@ -240,7 +387,7 @@ mod tests {
     }
 
     #[test]
-    fn overlap_matches_pure_cpu() {
+    fn work_steal_matches_pure_cpu() {
         let tasks = tasks_with_mixed_bins();
         let params = LocalAssemblyParams::for_tests();
         let pure = extend_all_cpu(&tasks, &params);
@@ -249,6 +396,18 @@ mod tests {
         assert_eq!(outcome.zero_tasks, 8);
         assert_eq!(outcome.failed_tasks, 0);
         assert!(!outcome.gpu_branch_fell_back);
+        assert_eq!(outcome.schedule.policy, "work-steal");
+        assert_eq!(outcome.cpu_tasks + outcome.gpu_tasks + outcome.zero_tasks, tasks.len());
+    }
+
+    #[test]
+    fn static_matches_pure_cpu() {
+        let tasks = tasks_with_mixed_bins();
+        let params = LocalAssemblyParams::for_tests();
+        let pure = extend_all_cpu(&tasks, &params);
+        let outcome = OverlapDriver::static_split(0.5).run(&tasks, &params).expect("driver runs");
+        assert_eq!(outcome.results, pure);
+        assert_eq!(outcome.schedule.policy, "static");
         assert_eq!(outcome.cpu_tasks + outcome.gpu_tasks + outcome.zero_tasks, tasks.len());
     }
 
@@ -258,7 +417,7 @@ mod tests {
         let params = LocalAssemblyParams::for_tests();
         let pure = extend_all_cpu(&tasks, &params);
         for frac in [0.0, 1.0] {
-            let driver = OverlapDriver { cpu_bin2_fraction: frac, ..Default::default() };
+            let driver = OverlapDriver::static_split(frac);
             let outcome = driver.run(&tasks, &params).expect("driver runs");
             assert_eq!(outcome.results, pure, "fraction {frac}");
             if frac == 0.0 {
@@ -272,10 +431,36 @@ mod tests {
     }
 
     #[test]
-    fn bin3_always_on_gpu() {
+    fn bad_config_is_rejected() {
         let tasks = tasks_with_mixed_bins();
         let params = LocalAssemblyParams::for_tests();
-        let driver = OverlapDriver { cpu_bin2_fraction: 1.0, ..Default::default() };
+        for frac in [f64::NAN, -0.1, 1.5, f64::INFINITY] {
+            let err = OverlapDriver::static_split(frac)
+                .run(&tasks, &params)
+                .expect_err("out-of-domain fraction must be rejected");
+            assert!(matches!(err, DriverError::BadConfig { .. }), "fraction {frac}: got {err:?}");
+        }
+        let ws = |cfg: StealConfig| OverlapDriver {
+            schedule: SchedulePolicy::WorkSteal(cfg),
+            ..Default::default()
+        };
+        let err = ws(StealConfig { batch_words: 0, ..Default::default() })
+            .run(&tasks, &params)
+            .expect_err("zero batch_words must be rejected");
+        assert!(matches!(err, DriverError::BadConfig { .. }));
+        for rate in [0.0, -1.0, f64::NAN] {
+            let err = ws(StealConfig { cpu_words_per_s: rate, ..Default::default() })
+                .run(&tasks, &params)
+                .expect_err("bad cpu rate must be rejected");
+            assert!(matches!(err, DriverError::BadConfig { .. }), "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn bin3_always_on_gpu_in_static_mode() {
+        let tasks = tasks_with_mixed_bins();
+        let params = LocalAssemblyParams::for_tests();
+        let driver = OverlapDriver::static_split(1.0);
         let outcome = driver.run(&tasks, &params).expect("driver runs");
         let stats = outcome.gpu_stats.expect("gpu ran");
         assert_eq!(stats.device_tasks, 8, "the 8 bin-3 tasks");
@@ -290,21 +475,53 @@ mod tests {
         let pure = extend_all_cpu(&tasks, &params);
         // A denied allocation AND a hung kernel in the same run: the
         // ladder shrinks / resets / falls back, and the final extensions
-        // must be byte-identical to the fault-free run.
+        // must be byte-identical to the fault-free run — under both
+        // scheduling policies.
         let plan = FaultPlan {
             faults: vec![
                 Fault::SlabOom { at_alloc: 0 },
                 Fault::KernelHang { at_launch: 1, after_cycles: 5_000 },
             ],
         };
-        let driver = OverlapDriver {
-            device: DeviceConfig::v100().with_fault_plan(plan),
+        for driver in [
+            OverlapDriver {
+                device: DeviceConfig::v100().with_fault_plan(plan.clone()),
+                ..Default::default()
+            },
+            OverlapDriver {
+                device: DeviceConfig::v100().with_fault_plan(plan.clone()),
+                ..OverlapDriver::static_split(0.5)
+            },
+        ] {
+            let outcome = driver.run(&tasks, &params).expect("driver runs");
+            assert_eq!(outcome.results, pure, "recovery must not change results");
+            assert_eq!(outcome.failed_tasks, 0);
+            let stats = outcome.gpu_stats.expect("gpu ran");
+            assert!(stats.recovery.any_recovery(), "ladder must have been exercised");
+        }
+    }
+
+    #[test]
+    fn double_buffer_saves_wall_seconds() {
+        let tasks = tasks_with_mixed_bins();
+        let params = LocalAssemblyParams::for_tests();
+        // Small granularity so each heavy task is its own batch, and a
+        // near-zero CPU rate so the GPU deterministically drains several
+        // batches — double-buffer savings only accrue from batch 2 on.
+        let cfg = |db: bool| OverlapDriver {
+            schedule: SchedulePolicy::WorkSteal(StealConfig {
+                batch_words: 2048,
+                cpu_words_per_s: 1.0,
+                double_buffer: db,
+            }),
             ..Default::default()
         };
-        let outcome = driver.run(&tasks, &params).expect("driver runs");
-        assert_eq!(outcome.results, pure, "recovery must not change results");
-        assert_eq!(outcome.failed_tasks, 0);
-        let stats = outcome.gpu_stats.expect("gpu ran");
-        assert!(stats.recovery.any_recovery(), "ladder must have been exercised");
+        let on = cfg(true).run(&tasks, &params).expect("runs");
+        let off = cfg(false).run(&tasks, &params).expect("runs");
+        assert_eq!(on.results, off.results, "double-buffering is timing-only");
+        let (s_on, s_off) = (on.gpu_stats.expect("gpu ran"), off.gpu_stats.expect("gpu ran"));
+        assert_eq!(s_off.overlap_saved_s, 0.0);
+        assert!(s_on.overlap_saved_s > 0.0, "multi-batch run must overlap pack with exec");
+        assert!(s_on.wall_s() < s_off.wall_s());
     }
 }

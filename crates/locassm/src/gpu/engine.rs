@@ -6,7 +6,7 @@
 //! against a device-memory budget (the "Estimate table sizes → Create
 //! batches" boxes of Figure 4) and launched one batch per kernel.
 
-use crate::binning::bin_tasks;
+use crate::binning::bin_tasks_refs;
 use crate::cpu::extend_end_cpu;
 use crate::gpu::kernel::{extension_kernel_v2, KernelVersion};
 use crate::gpu::kernel_v1::extension_kernel_v1;
@@ -102,6 +102,12 @@ pub struct GpuRunStats {
     pub counters: Counters,
     /// Simulated device seconds (kernels + launch overheads).
     pub seconds: f64,
+    /// Modeled host seconds spent packing batches (CPU-side data packing +
+    /// H2D of Figure 4, charged at [`GpuLocalAssembler::pack_words_per_s`]).
+    pub pack_s: f64,
+    /// Seconds of `pack_s` hidden under kernel execution by the
+    /// double-buffered pipeline (pack batch N+1 while batch N executes).
+    pub overlap_saved_s: f64,
     /// Peak device words used by any batch.
     pub peak_mem_words: u64,
     /// Recovery-ladder bookkeeping.
@@ -126,10 +132,18 @@ impl GpuRunStats {
             zero_tasks: 0,
             counters: Counters::new(),
             seconds: 0.0,
+            pack_s: 0.0,
+            overlap_saved_s: 0.0,
             peak_mem_words: 0,
             recovery: RecoveryStats::default(),
             sanitizer: SanitizerSummary::default(),
         }
+    }
+
+    /// End-to-end device-pipeline wall seconds: simulated kernel time plus
+    /// modeled pack time, minus what double-buffering hid.
+    pub fn wall_s(&self) -> f64 {
+        self.seconds + self.pack_s - self.overlap_saved_s
     }
 
     /// Roofline characterization of the run.
@@ -145,6 +159,8 @@ impl GpuRunStats {
         self.zero_tasks += other.zero_tasks;
         self.counters.merge(&other.counters);
         self.seconds += other.seconds;
+        self.pack_s += other.pack_s;
+        self.overlap_saved_s += other.overlap_saved_s;
         self.peak_mem_words = self.peak_mem_words.max(other.peak_mem_words);
         self.recovery.absorb(&other.recovery);
         self.sanitizer.absorb(&other.sanitizer);
@@ -171,6 +187,11 @@ impl std::fmt::Display for BatchError {
     }
 }
 
+/// Modeled host-side packing throughput (device words per second): ~2 GB/s
+/// of 8-byte words, the PCIe-generation order of magnitude the paper's
+/// driver hides behind kernel execution.
+pub const DEFAULT_PACK_WORDS_PER_S: f64 = 2.5e8;
+
 /// The GPU local-assembly engine.
 pub struct GpuLocalAssembler {
     device: Device,
@@ -182,6 +203,13 @@ pub struct GpuLocalAssembler {
     /// Set when the device exhausted its reset budget; all remaining work
     /// skips the device rungs of the ladder.
     device_dead: bool,
+    /// Double-buffer host packing against kernel execution.
+    double_buffer: bool,
+    /// Modeled packing throughput in device words per second.
+    pack_words_per_s: f64,
+    /// Kernel seconds of the most recent launch still "in flight" for the
+    /// double-buffer model: the next batch's pack can hide under it.
+    pending_exec_s: f64,
 }
 
 impl GpuLocalAssembler {
@@ -198,12 +226,22 @@ impl GpuLocalAssembler {
             mem_budget_frac: 0.8,
             policy: RecoveryPolicy::default(),
             device_dead: false,
+            double_buffer: true,
+            pack_words_per_s: DEFAULT_PACK_WORDS_PER_S,
+            pending_exec_s: 0.0,
         }
     }
 
     /// Override the recovery policy (builder style).
     pub fn with_recovery_policy(mut self, policy: RecoveryPolicy) -> GpuLocalAssembler {
         self.policy = policy;
+        self
+    }
+
+    /// Enable/disable the double-buffered pack/exec pipeline (builder
+    /// style). Off, every batch pays `pack + exec` serially.
+    pub fn with_double_buffer(mut self, on: bool) -> GpuLocalAssembler {
+        self.double_buffer = on;
         self
     }
 
@@ -234,7 +272,18 @@ impl GpuLocalAssembler {
     /// the recovery ladder; a task is [`TaskOutcome::Failed`] only once
     /// every rung is exhausted.
     pub fn extend_tasks_outcomes(&mut self, tasks: &[ExtTask]) -> (Vec<TaskOutcome>, GpuRunStats) {
-        let bins = bin_tasks(tasks);
+        let refs: Vec<&ExtTask> = tasks.iter().collect();
+        self.extend_tasks_outcomes_ref(&refs)
+    }
+
+    /// [`GpuLocalAssembler::extend_tasks_outcomes`] over borrowed tasks, so
+    /// schedulers can hand out shares by index without deep-cloning task
+    /// data (reads included) per engine.
+    pub fn extend_tasks_outcomes_ref(
+        &mut self,
+        tasks: &[&ExtTask],
+    ) -> (Vec<TaskOutcome>, GpuRunStats) {
+        let bins = bin_tasks_refs(tasks);
         let mut results: Vec<Option<TaskOutcome>> = vec![None; tasks.len()];
         for &i in &bins.zero {
             results[i] = Some(TaskOutcome::Done(ExtResult::empty()));
@@ -255,7 +304,7 @@ impl GpuLocalAssembler {
         let mut cur: Vec<usize> = Vec::new();
         let mut cur_words: u64 = 0;
         for &i in &order {
-            let w = estimate_task_words(&tasks[i], &self.params);
+            let w = estimate_task_words(tasks[i], &self.params);
             if w > budget {
                 oversized.push(i);
                 continue;
@@ -282,7 +331,7 @@ impl GpuLocalAssembler {
             );
         }
         for &i in &oversized {
-            let outcome = self.off_device(&tasks[i], "task exceeds device memory", &mut stats);
+            let outcome = self.off_device(tasks[i], "task exceeds device memory", &mut stats);
             results[i] = Some(outcome);
         }
 
@@ -305,7 +354,7 @@ impl GpuLocalAssembler {
     /// [`GpuLocalAssembler::off_device`].
     fn run_batch_recovering(
         &mut self,
-        tasks: &[ExtTask],
+        tasks: &[&ExtTask],
         idx: &[usize],
         results: &mut [Option<TaskOutcome>],
         stats: &mut GpuRunStats,
@@ -316,11 +365,11 @@ impl GpuLocalAssembler {
         }
         if self.device_dead {
             for &i in idx {
-                results[i] = Some(self.off_device(&tasks[i], "device lost", stats));
+                results[i] = Some(self.off_device(tasks[i], "device lost", stats));
             }
             return;
         }
-        let batch_tasks: Vec<&ExtTask> = idx.iter().map(|&i| &tasks[i]).collect();
+        let batch_tasks: Vec<&ExtTask> = idx.iter().map(|&i| tasks[i]).collect();
         match self.try_batch(&batch_tasks, stats) {
             Ok(outs) => {
                 for (&i, out) in idx.iter().zip(outs) {
@@ -356,7 +405,7 @@ impl GpuLocalAssembler {
                 } else {
                     for &i in idx {
                         results[i] =
-                            Some(self.off_device(&tasks[i], "device attempts exhausted", stats));
+                            Some(self.off_device(tasks[i], "device attempts exhausted", stats));
                     }
                 }
             }
@@ -377,6 +426,9 @@ impl GpuLocalAssembler {
         let backoff = self.policy.backoff_base_s * f64::powi(2.0, self.device.resets() as i32);
         stats.recovery.backoff_s += backoff;
         self.device.reset_device();
+        // A reset drains the device queue: nothing is in flight for the
+        // next pack to hide under.
+        self.pending_exec_s = 0.0;
         stats.recovery.device_resets += 1;
     }
 
@@ -433,7 +485,17 @@ impl GpuLocalAssembler {
         stats.launches += 1;
         stats.batches += 1;
         stats.counters.merge(&launch.counters);
-        stats.seconds += launch.timing.total_seconds();
+        let exec_s = launch.timing.total_seconds();
+        stats.seconds += exec_s;
+        // Double-buffer model: this batch was packed on the host while the
+        // previous batch's kernel was still executing, so up to
+        // `pending_exec_s` of the pack cost is hidden.
+        let pack_s = self.device.mem_used_words() as f64 / self.pack_words_per_s;
+        stats.pack_s += pack_s;
+        if self.double_buffer {
+            stats.overlap_saved_s += pack_s.min(self.pending_exec_s);
+            self.pending_exec_s = exec_s;
+        }
         if let Some(s) = self.device.take_sanitizer_summary() {
             stats.sanitizer.absorb(&s);
         }

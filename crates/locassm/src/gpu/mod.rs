@@ -18,6 +18,8 @@ pub mod layout;
 pub mod multi;
 pub mod pack;
 
-pub use engine::{GpuLocalAssembler, GpuRunStats, RecoveryPolicy, RecoveryStats};
+pub use engine::{
+    GpuLocalAssembler, GpuRunStats, RecoveryPolicy, RecoveryStats, DEFAULT_PACK_WORDS_PER_S,
+};
 pub use kernel::KernelVersion;
-pub use multi::{MultiGpuAssembler, MultiGpuStats};
+pub use multi::{MultiGpuAssembler, MultiGpuStats, StripePolicy};

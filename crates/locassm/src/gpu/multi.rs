@@ -6,13 +6,26 @@
 //! story of Figures 13/14 is about — fewer tasks per device means worse
 //! load balance and a larger overhead share.
 
-use crate::cpu::extend_all_cpu_isolated;
+use crate::cpu::extend_cpu_isolated_refs;
 use crate::gpu::engine::{GpuLocalAssembler, GpuRunStats, RecoveryPolicy};
 use crate::gpu::kernel::KernelVersion;
+use crate::gpu::pack::estimate_task_words;
 use crate::params::LocalAssemblyParams;
 use crate::task::{ExtResult, ExtTask, TaskOutcome};
 use gpusim::DeviceConfig;
 use rayon::prelude::*;
+
+/// How tasks are assigned to devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StripePolicy {
+    /// Historical `i % n_devices` striping — oblivious to task cost, so a
+    /// cluster of heavy bin-3 tasks can pile onto one device. Kept as the
+    /// load-balance comparison baseline.
+    RoundRobin,
+    /// Greedy LPT bin-packing by [`estimate_task_words`]: tasks sorted
+    /// heaviest-first, each assigned to the least-loaded device.
+    WordsLpt,
+}
 
 /// Node-level statistics.
 #[derive(Debug, Clone)]
@@ -46,6 +59,7 @@ pub struct MultiGpuAssembler {
     configs: Vec<DeviceConfig>,
     params: LocalAssemblyParams,
     version: KernelVersion,
+    stripe: StripePolicy,
 }
 
 /// Result of one device shard in round 1.
@@ -67,7 +81,12 @@ impl MultiGpuAssembler {
         n_devices: usize,
     ) -> MultiGpuAssembler {
         assert!(n_devices >= 1, "need at least one device");
-        MultiGpuAssembler { configs: vec![config; n_devices], params, version }
+        MultiGpuAssembler {
+            configs: vec![config; n_devices],
+            params,
+            version,
+            stripe: StripePolicy::WordsLpt,
+        }
     }
 
     /// Heterogeneous node: one explicit configuration per device (e.g.
@@ -78,44 +97,86 @@ impl MultiGpuAssembler {
         version: KernelVersion,
     ) -> MultiGpuAssembler {
         assert!(!configs.is_empty(), "need at least one device");
-        MultiGpuAssembler { configs, params, version }
+        MultiGpuAssembler { configs, params, version, stripe: StripePolicy::WordsLpt }
+    }
+
+    /// Override the striping policy (builder style).
+    pub fn with_stripe_policy(mut self, stripe: StripePolicy) -> MultiGpuAssembler {
+        self.stripe = stripe;
+        self
     }
 
     fn n_devices(&self) -> usize {
         self.configs.len()
     }
 
+    /// Assign task indices to `n_bins` shards under the configured policy.
+    /// LPT shards keep their indices sorted ascending so per-device launch
+    /// order (and therefore results) is independent of assignment order.
+    fn stripe_indices(
+        &self,
+        indices: &[usize],
+        tasks: &[ExtTask],
+        n_bins: usize,
+    ) -> Vec<Vec<usize>> {
+        let mut shards: Vec<Vec<usize>> = vec![Vec::new(); n_bins];
+        match self.stripe {
+            StripePolicy::RoundRobin => {
+                for (j, &i) in indices.iter().enumerate() {
+                    shards[j % n_bins].push(i);
+                }
+            }
+            StripePolicy::WordsLpt => {
+                let mut weighted: Vec<(u64, usize)> = indices
+                    .iter()
+                    .map(|&i| (estimate_task_words(&tasks[i], &self.params).max(1), i))
+                    .collect();
+                weighted.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                let mut load = vec![0u64; n_bins];
+                for (w, i) in weighted {
+                    // Least-loaded device, lowest id on ties — deterministic.
+                    let dev = (0..n_bins).min_by_key(|&d| (load[d], d)).unwrap_or(0);
+                    load[dev] += w;
+                    shards[dev].push(i);
+                }
+                for shard in &mut shards {
+                    shard.sort_unstable();
+                }
+            }
+        }
+        shards
+    }
+
     /// Extend all tasks; results are index-aligned with the input.
     ///
-    /// Tasks are striped round-robin so heavy (bin-3) tasks spread across
-    /// devices — the static analogue of MetaHipMer2's rank↔GPU mapping. A
-    /// dead device (engine panic, or reset budget exhausted) is treated as
-    /// shard loss: its unfinished tasks are redistributed across the
-    /// surviving devices, and across the CPU if none survive.
+    /// Tasks are striped under [`StripePolicy`] (default: LPT by estimated
+    /// device words, so heavy bin-3 tasks spread evenly) — the node-level
+    /// analogue of MetaHipMer2's rank↔GPU mapping. A dead device (engine
+    /// panic, or reset budget exhausted) is treated as shard loss: its
+    /// unfinished tasks are redistributed across the surviving devices,
+    /// and across the CPU if none survive.
     pub fn extend_tasks(&self, tasks: &[ExtTask]) -> (Vec<ExtResult>, MultiGpuStats) {
         let n_devices = self.n_devices();
-        // Stripe task indices.
-        let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); n_devices];
-        for (i, _) in tasks.iter().enumerate() {
-            assignment[i % n_devices].push(i);
-        }
+        let all: Vec<usize> = (0..tasks.len()).collect();
+        let assignment = self.stripe_indices(&all, tasks, n_devices);
 
         // Round 1: run each device concurrently (host-side parallelism;
         // each device is an independent simulator). Devices do NOT fall
         // back to the CPU themselves — failed tasks come back as
         // `Failed` so this dispatcher can reschedule them on peers.
+        // Shards borrow the caller's tasks by index; nothing is cloned.
         let no_fallback = RecoveryPolicy { cpu_fallback: false, ..RecoveryPolicy::default() };
         let shards: Vec<(Vec<usize>, DeviceConfig)> =
             assignment.into_iter().zip(self.configs.iter().cloned()).collect();
         let shard_runs: Vec<ShardRun> = shards
             .into_par_iter()
             .map(|(idx, config)| {
-                let my_tasks: Vec<ExtTask> = idx.iter().map(|&i| tasks[i].clone()).collect();
+                let my_tasks: Vec<&ExtTask> = idx.iter().map(|&i| &tasks[i]).collect();
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let mut engine =
                         GpuLocalAssembler::new(config, self.params.clone(), self.version)
                             .with_recovery_policy(no_fallback.clone());
-                    engine.extend_tasks_outcomes(&my_tasks)
+                    engine.extend_tasks_outcomes_ref(&my_tasks)
                 }));
                 match run {
                     Ok((outcomes, stats)) => ShardRun::Finished { idx, outcomes, stats },
@@ -160,30 +221,28 @@ impl MultiGpuAssembler {
         if !retry.is_empty() {
             if alive.is_empty() {
                 // No devices left: the whole retry set runs on the CPU.
-                let retry_tasks: Vec<ExtTask> = retry.iter().map(|&i| tasks[i].clone()).collect();
+                let retry_refs: Vec<&ExtTask> = retry.iter().map(|&i| &tasks[i]).collect();
                 for (&i, outcome) in
-                    retry.iter().zip(extend_all_cpu_isolated(&retry_tasks, &self.params))
+                    retry.iter().zip(extend_cpu_isolated_refs(&retry_refs, &self.params))
                 {
                     results[i] = Some(outcome.into_result());
                 }
             } else {
-                let mut restripe: Vec<Vec<usize>> = vec![Vec::new(); alive.len()];
-                for (j, &i) in retry.iter().enumerate() {
-                    restripe[j % alive.len()].push(i);
-                }
+                // Stolen-back work is re-striped under the same policy —
+                // LPT again balances the (often heavy-skewed) retry set.
+                let restripe = self.stripe_indices(&retry, tasks, alive.len());
                 let restripe: Vec<(Vec<usize>, usize)> =
                     restripe.into_iter().zip(alive.iter().copied()).collect();
                 let round2: Vec<(usize, Vec<usize>, Vec<TaskOutcome>, GpuRunStats)> = restripe
                     .into_par_iter()
                     .map(|(idx, dev_id)| {
-                        let my_tasks: Vec<ExtTask> =
-                            idx.iter().map(|&i| tasks[i].clone()).collect();
+                        let my_tasks: Vec<&ExtTask> = idx.iter().map(|&i| &tasks[i]).collect();
                         let mut engine = GpuLocalAssembler::new(
                             self.configs[dev_id].clone(),
                             self.params.clone(),
                             self.version,
                         );
-                        let (outcomes, stats) = engine.extend_tasks_outcomes(&my_tasks);
+                        let (outcomes, stats) = engine.extend_tasks_outcomes_ref(&my_tasks);
                         (dev_id, idx, outcomes, stats)
                     })
                     .collect();

@@ -42,7 +42,11 @@ pub struct GpuBatch {
     pub total_ht_slots: u64,
 }
 
-/// Device words one task will consume (packing estimate for batching).
+/// Device words one task will consume. This is the workspace's single task
+/// cost model, with three consumers that must stay consistent: the engine
+/// batches against the device memory budget with it, the work-stealing
+/// scheduler sizes its batches by it (`schedule::build_batches`), and the
+/// multi-GPU dispatcher LPT-stripes shards by it (`StripePolicy::WordsLpt`).
 pub fn estimate_task_words(task: &ExtTask, params: &LocalAssemblyParams) -> u64 {
     let read_words: u64 = task
         .reads

@@ -42,12 +42,14 @@ pub mod cpu;
 pub mod driver;
 pub mod gpu;
 pub mod params;
+pub mod schedule;
 pub mod summary;
 pub mod task;
 
 pub use binning::{bin_tasks, Bin, BinStats};
 pub use cpu::{extend_all_cpu, extend_all_cpu_isolated, extend_end_cpu};
-pub use driver::{DriverError, OverlapDriver, OverlapOutcome};
+pub use driver::{DriverError, OverlapDriver, OverlapOutcome, SchedulePolicy};
 pub use params::{KShift, LocalAssemblyParams, ShiftDir, WalkState};
+pub use schedule::{build_batches, ScheduleReport, StealConfig, TaskBatch};
 pub use summary::{summarize, ExtSummary};
 pub use task::{apply_extensions, make_tasks, ContigEnd, ExtResult, ExtTask, TaskOutcome};

@@ -9,7 +9,7 @@
 
 use crate::iterative::{default_schedule, run_iterative};
 use crate::pipeline::{run_pipeline, EngineChoice, PipelineConfig};
-use crate::report::{render_breakdown, render_recovery, render_sanitizer};
+use crate::report::{render_breakdown, render_overlap, render_recovery, render_sanitizer};
 use crate::stats::{evaluate_against_refs, AssemblyStats};
 use bioseq::fastq::{self, NPolicy};
 use bioseq::DnaSeq;
@@ -91,9 +91,14 @@ USAGE:
 
   mhm2rs assemble --r1 FILE --r2 FILE --out DIR
       [--k N] [--gpu] [--kernel v1|v2] [--iterative] [--refs FILE] [--sanitize]
+      [--overlap] [--cpu-bin2-fraction F]
       Assemble paired FASTQ into contigs.fasta + scaffolds.fasta.
       --sanitize runs the GPU engine under gpucheck (memcheck + racecheck +
       synccheck) and appends its findings to the report; implies --gpu.
+      --overlap runs local assembly on the CPU/GPU overlap driver with the
+      work-stealing scheduler; --cpu-bin2-fraction F switches it to the
+      static split keeping fraction F of bin-2 tasks on the CPU (implies
+      --overlap; F must be in [0,1]).
 ";
 
 /// Entry point shared by main() and the tests.
@@ -150,7 +155,8 @@ pub fn run_assemble(cli: &CliArgs) -> Result<String, String> {
 
     let mut cfg = PipelineConfig { k: cli.get_num("k", 31)?, ..Default::default() };
     let sanitize = cli.has("sanitize");
-    if sanitize || cli.has("gpu") || cli.get("kernel").is_some() {
+    let overlap = cli.has("overlap") || cli.get("cpu-bin2-fraction").is_some();
+    if sanitize || overlap || cli.has("gpu") || cli.get("kernel").is_some() {
         let version = match cli.get("kernel").unwrap_or("v2") {
             "v1" => KernelVersion::V1,
             "v2" => KernelVersion::V2,
@@ -160,7 +166,23 @@ pub fn run_assemble(cli: &CliArgs) -> Result<String, String> {
         if sanitize {
             device = device.with_sanitizer(SanitizerConfig::full());
         }
-        cfg.engine = EngineChoice::Gpu { device, version };
+        cfg.engine = if overlap {
+            let schedule = match cli.get("cpu-bin2-fraction") {
+                Some(v) => {
+                    let frac: f64 = v
+                        .parse()
+                        .map_err(|_| format!("--cpu-bin2-fraction: cannot parse {v:?}"))?;
+                    if !frac.is_finite() || !(0.0..=1.0).contains(&frac) {
+                        return Err(format!("--cpu-bin2-fraction must be in [0, 1], got {frac}"));
+                    }
+                    locassm::SchedulePolicy::Static { cpu_bin2_fraction: frac }
+                }
+                None => locassm::SchedulePolicy::WorkSteal(locassm::StealConfig::default()),
+            };
+            EngineChoice::Overlap { device, version, schedule }
+        } else {
+            EngineChoice::Gpu { device, version }
+        };
     }
 
     let mut report = String::new();
@@ -191,6 +213,7 @@ pub fn run_assemble(cli: &CliArgs) -> Result<String, String> {
         if result.degraded() {
             report.push_str(&render_recovery(&result.stats));
         }
+        report.push_str(&render_overlap(&result.stats));
         report.push_str(&render_sanitizer(&result.stats));
         let seqs: Vec<DnaSeq> =
             result.scaffolds.iter().map(|s| s.render(&result.contigs)).collect();
@@ -368,6 +391,51 @@ mod tests {
         }
         let unsanitized = std::fs::read_to_string(dir.join("asm_gpu/contigs.fasta")).unwrap();
         assert_eq!(sanitized, unsanitized);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overlap_flag_matches_cpu_and_reports_scheduler() {
+        let dir = std::env::temp_dir().join(format!("mhm2rs_overlap_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_string_lossy().to_string();
+        run(&argv(&format!("simulate --out {out} --preset arctic --scale 0.01")))
+            .expect("simulate");
+
+        run(&argv(&format!(
+            "assemble --r1 {out}/reads_1.fastq --r2 {out}/reads_2.fastq --out {out}/asm"
+        )))
+        .expect("cpu assemble");
+        let cpu = std::fs::read_to_string(dir.join("asm/contigs.fasta")).unwrap();
+
+        // Work-stealing overlap driver: identical contigs, scheduler section.
+        let report = run(&argv(&format!(
+            "assemble --r1 {out}/reads_1.fastq --r2 {out}/reads_2.fastq --out {out}/asm_ws \
+             --overlap"
+        )))
+        .expect("overlap assemble");
+        assert!(report.contains("overlap scheduler (work-steal)"), "{report}");
+        let ws = std::fs::read_to_string(dir.join("asm_ws/contigs.fasta")).unwrap();
+        assert_eq!(cpu, ws);
+
+        // Static split via --cpu-bin2-fraction (implies --overlap).
+        let report = run(&argv(&format!(
+            "assemble --r1 {out}/reads_1.fastq --r2 {out}/reads_2.fastq --out {out}/asm_st \
+             --cpu-bin2-fraction 0.5"
+        )))
+        .expect("static overlap assemble");
+        assert!(report.contains("overlap scheduler (static)"), "{report}");
+        let st = std::fs::read_to_string(dir.join("asm_st/contigs.fasta")).unwrap();
+        assert_eq!(cpu, st);
+
+        // Out-of-range fraction is rejected up front.
+        let err = run(&argv(&format!(
+            "assemble --r1 {out}/reads_1.fastq --r2 {out}/reads_2.fastq --out {out}/asm_bad \
+             --cpu-bin2-fraction 1.5"
+        )))
+        .expect_err("bad fraction must be rejected");
+        assert!(err.contains("cpu-bin2-fraction"), "{err}");
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -99,15 +99,38 @@ pub fn run_iterative(
         let tasks = make_tasks(&contigs, &cand_pairs, &cfg.locassm);
         // Per-task isolation on both engines: a task that fails every
         // recovery rung is skipped for this round, never fatal.
-        let outcomes = match &cfg.engine {
-            EngineChoice::Cpu => extend_all_cpu_isolated(&tasks, &cfg.locassm),
+        let results: Vec<ExtResult> = match &cfg.engine {
+            EngineChoice::Cpu => extend_all_cpu_isolated(&tasks, &cfg.locassm)
+                .into_iter()
+                .map(TaskOutcome::into_result)
+                .collect(),
             EngineChoice::Gpu { device, version } => {
                 let mut engine =
                     GpuLocalAssembler::new(device.clone(), cfg.locassm.clone(), *version);
-                engine.extend_tasks_outcomes(&tasks).0
+                engine
+                    .extend_tasks_outcomes(&tasks)
+                    .0
+                    .into_iter()
+                    .map(TaskOutcome::into_result)
+                    .collect()
+            }
+            EngineChoice::Overlap { device, version, schedule } => {
+                let driver = locassm::OverlapDriver {
+                    device: device.clone(),
+                    version: *version,
+                    schedule: schedule.clone(),
+                };
+                match driver.run(&tasks, &cfg.locassm) {
+                    Ok(out) => out.results,
+                    // An invariant violation in one round degrades to the
+                    // CPU reference rather than aborting the whole ladder.
+                    Err(_e) => extend_all_cpu_isolated(&tasks, &cfg.locassm)
+                        .into_iter()
+                        .map(TaskOutcome::into_result)
+                        .collect(),
+                }
             }
         };
-        let results: Vec<ExtResult> = outcomes.into_iter().map(TaskOutcome::into_result).collect();
         let appended: usize = results.iter().map(|r| r.appended.len()).sum();
         contigs = apply_extensions(&contigs, &tasks, &results);
         timings.add(Phase::LocalAssembly, t.elapsed().as_secs_f64());
@@ -136,6 +159,15 @@ pub fn default_schedule(max_read_len: usize) -> Vec<usize> {
 /// Convenience wrapper for the GPU engine.
 pub fn gpu_engine_choice() -> EngineChoice {
     EngineChoice::Gpu { device: DeviceConfig::v100(), version: KernelVersion::V2 }
+}
+
+/// Convenience wrapper for the work-stealing overlap driver.
+pub fn overlap_engine_choice() -> EngineChoice {
+    EngineChoice::Overlap {
+        device: DeviceConfig::v100(),
+        version: KernelVersion::V2,
+        schedule: locassm::SchedulePolicy::WorkSteal(locassm::StealConfig::default()),
+    }
 }
 
 #[cfg(test)]

@@ -112,6 +112,10 @@ pub enum EngineChoice {
     Cpu,
     /// Simulated-GPU engine with the given device and kernel version.
     Gpu { device: DeviceConfig, version: KernelVersion },
+    /// CPU/GPU overlap driver (paper §4.3): both engines share the task
+    /// list under a [`locassm::SchedulePolicy`] — work-stealing by
+    /// default, or the static `cpu_bin2_fraction` split.
+    Overlap { device: DeviceConfig, version: KernelVersion, schedule: locassm::SchedulePolicy },
 }
 
 /// Pipeline configuration.
@@ -208,6 +212,9 @@ pub struct PipelineStats {
     /// Tasks skipped after every recovery rung failed (their contigs keep
     /// their unextended sequence).
     pub la_failed_tasks: usize,
+    /// Overlap-scheduler report (Overlap engine only): shares, steal
+    /// counts, and the virtual-time makespan model.
+    pub overlap: Option<locassm::ScheduleReport>,
     pub scaffolds: usize,
     pub fasta_bytes: usize,
 }
@@ -290,19 +297,38 @@ pub fn run_pipeline(
     // Either engine yields per-task outcomes: a task that fails every rung
     // of the recovery ladder is skipped (contig keeps its sequence), never
     // fatal to the run.
-    let outcomes = match &cfg.engine {
-        EngineChoice::Cpu => extend_all_cpu_isolated(&tasks, &cfg.locassm),
+    let (results, la_failed): (Vec<ExtResult>, usize) = match &cfg.engine {
+        EngineChoice::Cpu => {
+            let outcomes = extend_all_cpu_isolated(&tasks, &cfg.locassm);
+            let failed = outcomes.iter().filter(|o| o.is_failed()).count();
+            (outcomes.into_iter().map(TaskOutcome::into_result).collect(), failed)
+        }
         EngineChoice::Gpu { device, version } => {
             let mut engine = GpuLocalAssembler::new(device.clone(), cfg.locassm.clone(), *version);
             let (outcomes, gpu_stats) = engine.extend_tasks_outcomes(&tasks);
             stats.la_gpu_sim_seconds = Some(gpu_stats.seconds);
             stats.recovery = Some(gpu_stats.recovery.clone());
             stats.gpu = Some(gpu_stats);
-            outcomes
+            let failed = outcomes.iter().filter(|o| o.is_failed()).count();
+            (outcomes.into_iter().map(TaskOutcome::into_result).collect(), failed)
+        }
+        EngineChoice::Overlap { device, version, schedule } => {
+            let driver = locassm::OverlapDriver {
+                device: device.clone(),
+                version: *version,
+                schedule: schedule.clone(),
+            };
+            let out = driver
+                .run(&tasks, &cfg.locassm)
+                .map_err(|e| PipelineError::engine(Phase::LocalAssembly, e))?;
+            stats.la_gpu_sim_seconds = out.gpu_stats.as_ref().map(|s| s.seconds);
+            stats.recovery = out.gpu_stats.as_ref().map(|s| s.recovery.clone());
+            stats.gpu = out.gpu_stats;
+            stats.overlap = Some(out.schedule);
+            (out.results, out.failed_tasks)
         }
     };
-    stats.la_failed_tasks = outcomes.iter().filter(|o| o.is_failed()).count();
-    let results: Vec<ExtResult> = outcomes.into_iter().map(TaskOutcome::into_result).collect();
+    stats.la_failed_tasks = la_failed;
     stats.la_wall_seconds = t.elapsed().as_secs_f64();
     stats.bases_appended = results.iter().map(|r| r.appended.len()).sum();
     stats.ext_summary = summarize(&results);

@@ -72,6 +72,50 @@ pub fn render_sanitizer(stats: &PipelineStats) -> String {
     format!("\n{}", summary.render())
 }
 
+/// Render the overlap-scheduler section: engine shares, steal counts, and
+/// the double-buffer savings. Empty when the run did not use the overlap
+/// driver.
+pub fn render_overlap(stats: &PipelineStats) -> String {
+    let Some(sched) = &stats.overlap else {
+        return String::new();
+    };
+    let mut out = format!("\noverlap scheduler ({})\n", sched.policy);
+    let mut line = |label: &str, value: String| {
+        out.push_str(&format!("  {label:<24} {value}\n"));
+    };
+    line(
+        "shares (est words)",
+        format!(
+            "cpu {} / gpu {} (balance {:.2})",
+            sched.cpu_est_words,
+            sched.gpu_est_words,
+            sched.word_balance()
+        ),
+    );
+    line(
+        "batches",
+        format!("cpu {} / gpu {} of {}", sched.cpu_batches, sched.gpu_batches, sched.batches),
+    );
+    if sched.cpu_stole_heavy > 0 {
+        line("bin-3 stolen by CPU", sched.cpu_stole_heavy.to_string());
+    }
+    if sched.gpu_absorbed_light > 0 {
+        line("bin-2 absorbed by GPU", sched.gpu_absorbed_light.to_string());
+    }
+    if sched.makespan_model_s() > 0.0 {
+        line("model makespan", format!("{:.6} s", sched.makespan_model_s()));
+    }
+    if let Some(gpu) = &stats.gpu {
+        if gpu.pack_s > 0.0 {
+            line(
+                "pack overlap",
+                format!("{:.6} s hidden of {:.6} s pack", gpu.overlap_saved_s, gpu.pack_s),
+            );
+        }
+    }
+    out
+}
+
 /// Render a generic aligned table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let ncols = headers.len();
@@ -153,6 +197,37 @@ mod tests {
         let stats = PipelineStats { gpu: Some(gpu), ..Default::default() };
         let s = render_sanitizer(&stats);
         assert!(s.contains("gpucheck: clean"), "{s}");
+    }
+
+    #[test]
+    fn overlap_section_empty_without_overlap_driver() {
+        let stats = PipelineStats::default();
+        assert_eq!(render_overlap(&stats), "");
+    }
+
+    #[test]
+    fn overlap_section_reports_shares_and_steals() {
+        let stats = PipelineStats {
+            overlap: Some(locassm::ScheduleReport {
+                policy: "work-steal",
+                batches: 6,
+                gpu_batches: 4,
+                cpu_batches: 2,
+                cpu_stole_heavy: 1,
+                cpu_est_words: 900,
+                gpu_est_words: 1100,
+                cpu_model_s: 0.5,
+                gpu_model_s: 0.4,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let s = render_overlap(&stats);
+        assert!(s.contains("work-steal"), "{s}");
+        assert!(s.contains("cpu 900 / gpu 1100"), "{s}");
+        assert!(s.contains("bin-3 stolen by CPU"), "{s}");
+        assert!(s.contains("model makespan"), "{s}");
+        assert!(!s.contains("bin-2 absorbed"), "unfired counters stay silent: {s}");
     }
 
     #[test]

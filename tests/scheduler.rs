@@ -1,0 +1,243 @@
+//! Overlap-scheduler integration tests.
+//!
+//! The scheduler is a performance feature with a correctness contract: no
+//! matter how tasks are split between the CPU and GPU engines — statically,
+//! by work stealing, or mid-flight after an injected fault — the extension
+//! results must be byte-identical to the pure-CPU reference, in task order.
+//! These tests drive that contract across randomized task mixes and fault
+//! plans, and pin the two load-balance claims: LPT striping must balance a
+//! skew that defeats round-robin, and the static bin-2 split must deal
+//! sizes instead of cutting a prefix.
+
+use bioseq::{DnaSeq, Read};
+use gpusim::{DeviceConfig, Fault, FaultPlan};
+use locassm::gpu::pack::estimate_task_words;
+use locassm::gpu::{KernelVersion, MultiGpuAssembler, StripePolicy};
+use locassm::{
+    extend_all_cpu, ContigEnd, ExtTask, LocalAssemblyParams, OverlapDriver, SchedulePolicy,
+    StealConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_seq(len: usize, rng: &mut StdRng) -> DnaSeq {
+    (0..len).map(|_| bioseq::Base::from_code(rng.gen_range(0..4))).collect()
+}
+
+/// Deterministic task list from a per-task read-count spec: count 0 lands in
+/// bin 1, counts below `BIN2_LIMIT` in bin 2, the rest in bin 3.
+fn tasks_from_counts(counts: &[usize], seed: u64) -> Vec<ExtTask> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, &n_reads)| {
+            let genome = random_seq(560, &mut rng);
+            let reads = (0..n_reads)
+                .map(|r| {
+                    Read::with_uniform_qual(
+                        format!("t{i}r{r}"),
+                        genome.subseq(55 + (r * 17) % 320, 90),
+                        35,
+                    )
+                })
+                .collect();
+            ExtTask { contig: i, end: ContigEnd::Right, tail: genome.subseq(0, 130), reads }
+        })
+        .collect()
+}
+
+fn fault_plan(kind: usize) -> FaultPlan {
+    match kind {
+        0 => FaultPlan::default(),
+        1 => FaultPlan {
+            faults: vec![
+                Fault::SlabOom { at_alloc: 0 },
+                Fault::KernelHang { at_launch: 1, after_cycles: 5_000 },
+            ],
+        },
+        // A hang storm that exhausts the reset budget: the device is lost
+        // mid-schedule and the CPU must absorb the remaining batches.
+        _ => FaultPlan {
+            faults: (0..64)
+                .map(|i| Fault::KernelHang { at_launch: i, after_cycles: 100 })
+                .collect(),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Work stealing must reproduce the pure-CPU reference byte-for-byte
+    /// across arbitrary bin mixes, steal granularities, and fault plans —
+    /// including plans that kill the device partway through the deque.
+    #[test]
+    fn work_steal_is_byte_identical_across_mixes_and_faults(
+        counts in proptest::collection::vec(0usize..=24, 1..=28),
+        seed in 0u64..1_000,
+        fault_kind in 0usize..3,
+        batch_kib in (0usize..3).prop_map(|i| [2u64, 16, 64][i]),
+    ) {
+        let tasks = tasks_from_counts(&counts, seed);
+        let params = LocalAssemblyParams::for_tests();
+        let reference = extend_all_cpu(&tasks, &params);
+
+        let driver = OverlapDriver {
+            device: DeviceConfig::tiny().with_fault_plan(fault_plan(fault_kind)),
+            version: KernelVersion::V2,
+            schedule: SchedulePolicy::WorkSteal(StealConfig {
+                batch_words: batch_kib * 1024,
+                ..StealConfig::default()
+            }),
+        };
+        let out = driver.run(&tasks, &params).expect("driver must not error");
+        prop_assert_eq!(&out.results, &reference);
+        // Every task is accounted for on exactly one engine (bin-1 tasks
+        // are finished on the host before the deque is built).
+        let binned = locassm::bin_tasks(&tasks);
+        prop_assert_eq!(
+            out.cpu_tasks + out.gpu_tasks,
+            tasks.len() - binned.zero.len()
+        );
+    }
+
+    /// The static split must also hold the identity contract under faults —
+    /// the recovery ladder and the panic fallback both end at the same CPU
+    /// reference code.
+    #[test]
+    fn static_split_is_byte_identical_across_fractions_and_faults(
+        counts in proptest::collection::vec(0usize..=24, 1..=20),
+        seed in 0u64..1_000,
+        fault_kind in 0usize..3,
+        frac in (0usize..3).prop_map(|i| [0.0f64, 0.3, 1.0][i]),
+    ) {
+        let tasks = tasks_from_counts(&counts, seed);
+        let params = LocalAssemblyParams::for_tests();
+        let reference = extend_all_cpu(&tasks, &params);
+
+        let driver = OverlapDriver {
+            device: DeviceConfig::tiny().with_fault_plan(fault_plan(fault_kind)),
+            ..OverlapDriver::static_split(frac)
+        };
+        let out = driver.run(&tasks, &params).expect("driver must not error");
+        prop_assert_eq!(&out.results, &reference);
+    }
+}
+
+/// The multi-GPU LPT restripe must balance a size skew that round-robin
+/// cannot: heavies sit at stride `n_devices`, so `i % n` piles them all on
+/// device 0 while LPT spreads them by estimated words.
+#[test]
+fn lpt_striping_balances_skew_that_defeats_round_robin() {
+    const N_DEVICES: usize = 4;
+    let counts: Vec<usize> =
+        (0..64).map(|i| if i % N_DEVICES == 0 { 18 + i % 5 } else { 1 + (i % 8) }).collect();
+    let tasks = tasks_from_counts(&counts, 99);
+    let params = LocalAssemblyParams::for_tests();
+    let reference = extend_all_cpu(&tasks, &params);
+
+    let balance_of = |policy: StripePolicy| {
+        let multi = MultiGpuAssembler::new(
+            DeviceConfig::tiny(),
+            params.clone(),
+            KernelVersion::V2,
+            N_DEVICES,
+        )
+        .with_stripe_policy(policy);
+        let (results, stats) = multi.extend_tasks(&tasks);
+        assert_eq!(results, reference, "{policy:?} striping must be byte-identical");
+        stats.balance_efficiency()
+    };
+    let rr = balance_of(StripePolicy::RoundRobin);
+    let lpt = balance_of(StripePolicy::WordsLpt);
+    assert!(rr < 0.6, "skew should defeat round-robin striping, got {rr:.3}");
+    assert!(lpt >= 0.9, "LPT striping should balance the skew, got {lpt:.3}");
+}
+
+/// Regression for the prefix-bias bug: with bin-2 tasks arriving in
+/// ascending size order, a `cpu_bin2_fraction=0.5` split must deal the
+/// tasks so both engines get comparable estimated words — the old prefix
+/// cut handed the CPU the smallest half of the work.
+#[test]
+fn static_split_deals_bin2_sizes_instead_of_prefix() {
+    // 36 bin-2 tasks in ascending size order (1,..,9 read counts, blocked),
+    // the adversarial input for a prefix cut. No bin-3 tasks, so the GPU's
+    // scheduled words are purely its bin-2 share.
+    let mut counts: Vec<usize> = (0..36).map(|i| 1 + i / 4).collect();
+    counts.iter_mut().for_each(|c| *c = (*c).min(9));
+    let tasks = tasks_from_counts(&counts, 7);
+    let params = LocalAssemblyParams::for_tests();
+
+    let out = OverlapDriver { device: DeviceConfig::tiny(), ..OverlapDriver::static_split(0.5) }
+        .run(&tasks, &params)
+        .expect("static split runs");
+    assert_eq!(out.results, extend_all_cpu(&tasks, &params));
+
+    let total: u64 = tasks.iter().map(|t| estimate_task_words(t, &params)).sum();
+    let (cpu_w, gpu_w) = (out.schedule.cpu_est_words, out.schedule.gpu_est_words);
+    assert_eq!(cpu_w + gpu_w, total, "every estimated word lands on exactly one engine");
+    let (lo, hi) = (cpu_w.min(gpu_w), cpu_w.max(gpu_w));
+    assert!(
+        lo as f64 >= 0.8 * hi as f64,
+        "half split must deal comparable est-words shares, got cpu {cpu_w} / gpu {gpu_w}"
+    );
+
+    // The prefix cut would have produced a far worse share: the smallest
+    // half of the tasks carries well under 80% of the larger half's words.
+    let sorted_words: Vec<u64> = tasks.iter().map(|t| estimate_task_words(t, &params)).collect();
+    let prefix_cpu: u64 = sorted_words[..18].iter().sum();
+    let prefix_gpu: u64 = sorted_words[18..].iter().sum();
+    assert!(
+        (prefix_cpu as f64) < 0.8 * prefix_gpu as f64,
+        "workload no longer adversarial for a prefix cut: {prefix_cpu} vs {prefix_gpu}"
+    );
+}
+
+/// The work-steal makespan model must beat a static half split on a skewed
+/// workload when the CPU peer is fast enough to help with bin-3 — the
+/// scheduler-level version of the Figure 11 harness claim.
+#[test]
+fn work_steal_model_beats_static_half_split_on_skew() {
+    const STRIDE: usize = 4;
+    let counts: Vec<usize> =
+        (0..64).map(|i| if i % STRIDE == 0 { 18 + i % 5 } else { 1 + (i % 8) }).collect();
+    let tasks = tasks_from_counts(&counts, 4242);
+    let params = LocalAssemblyParams::for_tests();
+    let total: u64 = tasks.iter().map(|t| estimate_task_words(t, &params)).sum();
+
+    // Calibrate the GPU once (single amortized run), then model the CPU
+    // peer at twice that rate, as in the fig11 harness.
+    let probe = OverlapDriver { device: DeviceConfig::tiny(), ..OverlapDriver::static_split(0.0) }
+        .run(&tasks, &params)
+        .expect("probe runs");
+    let gpu_rate = total as f64 / probe.gpu_stats.as_ref().unwrap().wall_s().max(1e-12);
+
+    let st = OverlapDriver { device: DeviceConfig::tiny(), ..OverlapDriver::static_split(0.5) }
+        .run(&tasks, &params)
+        .expect("static runs");
+    let static_makespan = (st.schedule.cpu_est_words as f64 / (2.0 * gpu_rate))
+        .max(st.gpu_stats.as_ref().unwrap().wall_s());
+
+    let ws = OverlapDriver {
+        device: DeviceConfig::tiny(),
+        schedule: SchedulePolicy::WorkSteal(StealConfig {
+            batch_words: 32 * 1024,
+            cpu_words_per_s: 2.0 * gpu_rate,
+            ..StealConfig::default()
+        }),
+        ..Default::default()
+    }
+    .run(&tasks, &params)
+    .expect("work-steal runs");
+    assert_eq!(ws.results, st.results, "schedules must agree on results");
+
+    let improvement = (static_makespan - ws.schedule.makespan_model_s()) / static_makespan;
+    assert!(
+        improvement >= 0.15,
+        "work-steal should beat static 0.5 by >= 15%, got {:.1}%",
+        100.0 * improvement
+    );
+    assert!(ws.schedule.cpu_stole_heavy > 0, "the win must come from stealing bin-3 work");
+}
