@@ -13,8 +13,8 @@ use mhm::Phase;
 fn main() {
     let model = ScalingModel::from_anchors(PaperAnchors::default());
 
-    let cpu = model.pipeline_at(64.0, false);
-    let gpu = model.pipeline_at(64.0, true);
+    let cpu = model.pipeline_at(64.0, false).expect("anchored node count");
+    let gpu = model.pipeline_at(64.0, true).expect("anchored node count");
 
     println!("=== Figure 2a: 64-node WA breakdown, CPU local assembly ===\n");
     println!("{}", render_breakdown("CPU local assembly (anchored on paper)", &cpu));
@@ -33,6 +33,6 @@ fn main() {
     );
     println!(
         "\nend-to-end improvement at 64 nodes: paper ~42%, model {:.1}%",
-        model.overall_speedup_pct(64.0)
+        model.overall_speedup_pct(64.0).expect("anchored node count")
     );
 }

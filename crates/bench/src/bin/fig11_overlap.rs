@@ -1,7 +1,9 @@
 //! Figure 11-style overlap study: static `cpu_bin2_fraction` split vs the
 //! work-stealing scheduler on a size-skewed seeded workload, plus the
-//! multi-GPU striping comparison (round-robin vs LPT) and byte-identity
-//! checks across scheduler × fault configurations.
+//! calibration ablation (oracle vs 10×-mis-seeded CPU rates, with and
+//! without the EWMA feedback loop), the multi-GPU striping comparison
+//! (round-robin vs LPT, homogeneous and mixed-fleet) and byte-identity
+//! checks across scheduler × calibration × fault configurations.
 //!
 //! Emits `results/BENCH_overlap.json` (hand-rolled JSON; the workspace has
 //! no serde_json) so CI can accumulate the perf trajectory. `--tiny` runs
@@ -14,8 +16,8 @@ use gpusim::{DeviceConfig, Fault, FaultPlan};
 use locassm::gpu::pack::estimate_task_words;
 use locassm::gpu::{KernelVersion, MultiGpuAssembler, StripePolicy};
 use locassm::{
-    extend_all_cpu, ContigEnd, ExtTask, LocalAssemblyParams, OverlapDriver, SchedulePolicy,
-    StealConfig,
+    extend_all_cpu, CalibrationConfig, ContigEnd, ExtTask, LocalAssemblyParams, OverlapDriver,
+    SchedulePolicy, StealConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -85,8 +87,19 @@ fn main() {
     let cpu_rate = 2.0 * gpu_rate;
     println!("calibrated GPU rate: {gpu_rate:.3e} est words/s (CPU peer modeled at 2x)");
 
-    let steal_cfg =
-        StealConfig { batch_words: 32 * 1024, cpu_words_per_s: cpu_rate, ..StealConfig::default() };
+    // The CPU peer is *modeled* (host wall seconds here are simulator
+    // driving cost, not the modeled socket), so pin the calibration loop's
+    // observation source to the modeled rate: belief starts equal to truth
+    // and the schedule matches the constant-rate scheduler exactly.
+    let steal_cfg = StealConfig {
+        batch_words: 32 * 1024,
+        cpu_words_per_s: cpu_rate,
+        calibration: CalibrationConfig {
+            cpu_true_words_per_s: Some(cpu_rate),
+            ..CalibrationConfig::default()
+        },
+        ..StealConfig::default()
+    };
 
     // --- static 0.5 baseline: makespan is the slower of the two engine
     // models at the calibrated rate.
@@ -132,6 +145,72 @@ fn main() {
         "work-steal must beat the static split by >= 15%, got {improvement:.1}%"
     );
 
+    // --- calibration ablation: seed the CPU-rate model 10x off in either
+    // direction and let the EWMA feedback loop recover. The CPU's "true"
+    // rate is pinned (observations are modeled at `cpu_rate`, not host
+    // wall), so every trajectory is deterministic and the *realized*
+    // makespan — the sum of observed engine times, belief-independent in
+    // its units — is comparable across runs. The fine 8 KiB granularity
+    // gives the estimator enough batches to converge within the run.
+    let ablate = |seed: f64, enabled: bool| {
+        let out = OverlapDriver {
+            device: device.clone(),
+            schedule: SchedulePolicy::WorkSteal(StealConfig {
+                batch_words: 8 * 1024,
+                cpu_words_per_s: seed,
+                calibration: CalibrationConfig {
+                    enabled,
+                    cpu_true_words_per_s: Some(cpu_rate),
+                    ..CalibrationConfig::default()
+                },
+                ..StealConfig::default()
+            }),
+            ..Default::default()
+        }
+        .run(&tasks, &params)
+        .expect("ablation run");
+        assert_eq!(
+            out.results, reference,
+            "calibration (seed {seed:.3e}, enabled {enabled}) must stay byte-identical"
+        );
+        out.schedule.calibration.expect("work-steal always reports calibration")
+    };
+    let oracle = ablate(cpu_rate, true);
+    let cal_hi = ablate(10.0 * cpu_rate, true);
+    let cal_lo = ablate(cpu_rate / 10.0, true);
+    let uncal_hi = ablate(10.0 * cpu_rate, false);
+    let uncal_lo = ablate(cpu_rate / 10.0, false);
+    let oracle_mk = oracle.realized_makespan_s();
+    println!("\ncalibration ablation (realized makespan, oracle = correctly-seeded):");
+    println!("  oracle seed:            {oracle_mk:.6} s ({} cpu updates)", oracle.cpu_updates);
+    for (name, rep) in [("10x-high + EWMA", &cal_hi), ("10x-low  + EWMA", &cal_lo)] {
+        let mk = rep.realized_makespan_s();
+        println!(
+            "  {name}: {mk:.6} s ({:.1}% of oracle, converged {:.3e} w/s)",
+            100.0 * mk / oracle_mk,
+            rep.cpu_words_per_s
+        );
+        assert!(
+            mk <= 1.2 * oracle_mk,
+            "{name} must converge within 20% of the oracle makespan: \
+             {mk:.6} vs {oracle_mk:.6}"
+        );
+    }
+    for (name, rep) in [("10x-high, no EWMA", &uncal_hi), ("10x-low,  no EWMA", &uncal_lo)] {
+        let mk = rep.realized_makespan_s();
+        println!("  {name}: {mk:.6} s ({:.1}% of oracle)", 100.0 * mk / oracle_mk);
+    }
+    // One mis-seed direction can luckily help (over-feeding the engine that
+    // is genuinely faster), so the contrast claim is about the worst case:
+    // without feedback, *some* 10x mis-seed blows the 20% budget that every
+    // calibrated trajectory stays inside.
+    let uncal_worst = uncal_hi.realized_makespan_s().max(uncal_lo.realized_makespan_s());
+    assert!(
+        uncal_worst > 1.2 * oracle_mk,
+        "a 10x mis-seed without calibration must cost more than the 20% \
+         convergence budget, got {uncal_worst:.6} vs oracle {oracle_mk:.6}"
+    );
+
     // --- multi-GPU striping: round-robin vs LPT on the same skew.
     let balance_of = |policy: StripePolicy| {
         let multi =
@@ -146,6 +225,48 @@ fn main() {
     println!("\nmulti-GPU balance ({N_DEVICES} devices): round-robin {balance_rr:.3}, LPT {balance_lpt:.3}");
     assert!(balance_rr < 0.6, "skew must defeat round-robin striping, got {balance_rr:.3}");
     assert!(balance_lpt >= 0.9, "LPT striping must balance the skew, got {balance_lpt:.3}");
+
+    // --- mixed fleet: device 3 runs at half clock and half memory
+    // bandwidth (~0.5x throughput). Rate-blind LPT deals it a full-speed
+    // share and it becomes the makespan; rate-aware LPT weighs its load by
+    // the configured 0.5 rate and wins the balance back.
+    let slow_device = DeviceConfig {
+        clock_ghz: device.clock_ghz * 0.5,
+        dram_gbps: device.dram_gbps * 0.5,
+        ..device.clone()
+    };
+    let mixed_configs = || {
+        let mut fleet = vec![device.clone(); N_DEVICES - 1];
+        fleet.push(slow_device.clone());
+        fleet
+    };
+    let mixed_balance_of = |rates: Option<Vec<f64>>| {
+        let mut multi = MultiGpuAssembler::with_device_configs(
+            mixed_configs(),
+            params.clone(),
+            KernelVersion::V2,
+        );
+        if let Some(r) = rates {
+            multi = multi.with_device_rates(r);
+        }
+        let (results, stats) = multi.extend_tasks(&tasks);
+        assert_eq!(results, reference, "mixed-fleet striping must be byte-identical");
+        stats.balance_efficiency()
+    };
+    let mut aware_rates = vec![1.0; N_DEVICES - 1];
+    aware_rates.push(0.5);
+    let balance_mixed_blind = mixed_balance_of(None);
+    let balance_mixed_aware = mixed_balance_of(Some(aware_rates));
+    println!(
+        "mixed fleet (device {} at 0.5x): rate-blind LPT {balance_mixed_blind:.3}, \
+         rate-aware LPT {balance_mixed_aware:.3}",
+        N_DEVICES - 1
+    );
+    assert!(
+        balance_mixed_aware > balance_mixed_blind + 0.05,
+        "rate-aware LPT must beat rate-blind LPT on a mixed fleet: \
+         {balance_mixed_aware:.3} vs {balance_mixed_blind:.3}"
+    );
 
     // --- byte-identity across scheduler × fault configurations.
     let fault_plans = [
@@ -168,6 +289,16 @@ fn main() {
             },
         ),
     ];
+    let calibrated = |seed: f64| {
+        SchedulePolicy::WorkSteal(StealConfig {
+            cpu_words_per_s: seed,
+            calibration: CalibrationConfig {
+                cpu_true_words_per_s: Some(cpu_rate),
+                ..CalibrationConfig::default()
+            },
+            ..steal_cfg.clone()
+        })
+    };
     let schedules: Vec<(&str, SchedulePolicy)> = vec![
         ("static-0.0", SchedulePolicy::Static { cpu_bin2_fraction: 0.0 }),
         ("static-0.5", SchedulePolicy::Static { cpu_bin2_fraction: 0.5 }),
@@ -177,6 +308,12 @@ fn main() {
             "ws-fine",
             SchedulePolicy::WorkSteal(StealConfig { batch_words: 8 * 1024, ..steal_cfg.clone() }),
         ),
+        // Every calibration trajectory — correctly seeded and 10x off both
+        // ways — must leave the assembled bytes untouched under every fault
+        // plan: calibration moves work between engines, never results.
+        ("ws-cal-oracle", calibrated(cpu_rate)),
+        ("ws-cal-mis-hi", calibrated(10.0 * cpu_rate)),
+        ("ws-cal-mis-lo", calibrated(cpu_rate / 10.0)),
     ];
     let mut identical_configs = 0usize;
     for (fname, plan) in &fault_plans {
@@ -216,6 +353,26 @@ fn main() {
     );
     let _ = writeln!(json, "  \"balance_round_robin\": {balance_rr:.4},");
     let _ = writeln!(json, "  \"balance_lpt\": {balance_lpt:.4},");
+    let _ = writeln!(json, "  \"balance_mixed_rate_blind\": {balance_mixed_blind:.4},");
+    let _ = writeln!(json, "  \"balance_mixed_rate_aware\": {balance_mixed_aware:.4},");
+    let _ = writeln!(json, "  \"calibration_oracle_makespan_s\": {oracle_mk:.9},");
+    let _ =
+        writeln!(json, "  \"calibration_mis_hi_makespan_s\": {:.9},", cal_hi.realized_makespan_s());
+    let _ =
+        writeln!(json, "  \"calibration_mis_lo_makespan_s\": {:.9},", cal_lo.realized_makespan_s());
+    let _ = writeln!(
+        json,
+        "  \"uncalibrated_mis_hi_makespan_s\": {:.9},",
+        uncal_hi.realized_makespan_s()
+    );
+    let _ = writeln!(
+        json,
+        "  \"uncalibrated_mis_lo_makespan_s\": {:.9},",
+        uncal_lo.realized_makespan_s()
+    );
+    let _ = writeln!(json, "  \"calibration_cpu_updates\": {},", cal_hi.cpu_updates);
+    let _ =
+        writeln!(json, "  \"calibration_rel_err_vs_realized\": {:.6},", oracle.rel_err_vs_realized);
     let _ = writeln!(json, "  \"byte_identical_configs\": {identical_configs}");
     json.push_str("}\n");
     let out_path = std::path::Path::new("results").join("BENCH_overlap.json");

@@ -67,19 +67,19 @@ fn main() {
     // FileIo fixed share is negligible at 2 nodes; keep classes as-is.
     let _ = PhaseScaling::Fixed;
     let model = ScalingModel::from_anchors(anchors);
-    let c2 = model.pipeline_at(2.0, false);
-    let g2 = model.pipeline_at(2.0, true);
+    let c2 = model.pipeline_at(2.0, false).expect("anchored node count");
+    let g2 = model.pipeline_at(2.0, true).expect("anchored node count");
     println!("=== Figure 12 (model, 2 Summit nodes) ===\n");
     println!(
         "total: CPU {:.0} s -> GPU {:.0} s   overall gain {:.1}% (paper: ~12%)",
         c2.total(),
         g2.total(),
-        model.overall_speedup_pct(2.0)
+        model.overall_speedup_pct(2.0).expect("anchored node count")
     );
     println!(
         "local assembly: CPU {:.0} s -> GPU {:.0} s   speedup {:.2}x (paper: ~4.3x)",
         c2.get(Phase::LocalAssembly),
         g2.get(Phase::LocalAssembly),
-        model.la_speedup(2.0)
+        model.la_speedup(2.0).expect("anchored node count")
     );
 }

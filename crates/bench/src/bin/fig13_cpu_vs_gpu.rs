@@ -15,9 +15,9 @@ fn main() {
     for nodes in [64.0, 128.0, 256.0, 512.0, 1024.0] {
         rows.push(vec![
             format!("{nodes:.0}"),
-            format!("{:.1}", model.la_cpu_s(nodes)),
-            format!("{:.1}", model.la_gpu_s(nodes)),
-            format!("{:.2}x", model.la_speedup(nodes)),
+            format!("{:.1}", model.la_cpu_s(nodes).expect("anchored node count")),
+            format!("{:.1}", model.la_gpu_s(nodes).expect("anchored node count")),
+            format!("{:.2}x", model.la_speedup(nodes).expect("anchored node count")),
             match nodes as u32 {
                 64 => "7.00x (anchor)".to_string(),
                 1024 => "2.65x (anchor)".to_string(),

@@ -13,13 +13,13 @@ fn main() {
     println!("=== Figure 14: overall pipeline, with vs without GPU local assembly ===\n");
     let mut rows = Vec::new();
     for nodes in [64.0, 128.0, 256.0, 512.0, 1024.0] {
-        let cpu = model.pipeline_at(nodes, false).total();
-        let gpu = model.pipeline_at(nodes, true).total();
+        let cpu = model.pipeline_at(nodes, false).expect("anchored node count").total();
+        let gpu = model.pipeline_at(nodes, true).expect("anchored node count").total();
         rows.push(vec![
             format!("{nodes:.0}"),
             format!("{cpu:.0}"),
             format!("{gpu:.0}"),
-            format!("{:.1}%", model.overall_speedup_pct(nodes)),
+            format!("{:.1}%", model.overall_speedup_pct(nodes).expect("anchored node count")),
         ]);
     }
     println!(

@@ -23,7 +23,7 @@
 
 use crate::binning::bin_tasks;
 use crate::cpu::extend_cpu_isolated_refs;
-use crate::gpu::pack::estimate_task_words;
+use crate::gpu::pack::estimate_task_cost;
 use crate::gpu::{GpuLocalAssembler, GpuRunStats, KernelVersion};
 use crate::params::LocalAssemblyParams;
 use crate::schedule::{build_batches, run_work_steal, ScheduleReport, StealConfig};
@@ -150,6 +150,9 @@ impl OverlapDriver {
                         cfg.cpu_words_per_s
                     ));
                 }
+                if let Err(what) = cfg.calibration.validate() {
+                    return bad(what);
+                }
             }
         }
         Ok(())
@@ -258,7 +261,7 @@ impl OverlapDriver {
         // Deal bin 2 in descending size order, Bresenham-style, so the CPU
         // share holds `fraction` of the *tasks* while both shares see the
         // same size mix — the prefix-bias fix.
-        let cost = |i: usize| estimate_task_words(&tasks[i], params).max(1);
+        let cost = |i: usize| estimate_task_cost(&tasks[i], params);
         let mut small: Vec<(u64, usize)> = bins.small.iter().map(|&i| (cost(i), i)).collect();
         small.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         let (mut cpu_idx, mut gpu_small) = (Vec::new(), Vec::new());
@@ -454,6 +457,17 @@ mod tests {
                 .expect_err("bad cpu rate must be rejected");
             assert!(matches!(err, DriverError::BadConfig { .. }), "rate {rate}");
         }
+        use crate::calibrate::CalibrationConfig;
+        for cal in [
+            CalibrationConfig { alpha: 0.0, ..Default::default() },
+            CalibrationConfig { alpha: f64::NAN, ..Default::default() },
+            CalibrationConfig { cpu_true_words_per_s: Some(-1.0), ..Default::default() },
+        ] {
+            let err = ws(StealConfig { calibration: cal.clone(), ..Default::default() })
+                .run(&tasks, &params)
+                .expect_err("bad calibration config must be rejected");
+            assert!(matches!(err, DriverError::BadConfig { .. }), "calibration {cal:?}");
+        }
     }
 
     #[test]
@@ -513,6 +527,10 @@ mod tests {
                 batch_words: 2048,
                 cpu_words_per_s: 1.0,
                 double_buffer: db,
+                // Pin the rate: with calibration reading real host wall
+                // clocks the CPU would be recognized as fast and steal the
+                // batches this test needs on the GPU.
+                calibration: crate::calibrate::CalibrationConfig::off(),
             }),
             ..Default::default()
         };

@@ -9,7 +9,7 @@
 use crate::cpu::extend_cpu_isolated_refs;
 use crate::gpu::engine::{GpuLocalAssembler, GpuRunStats, RecoveryPolicy};
 use crate::gpu::kernel::KernelVersion;
-use crate::gpu::pack::estimate_task_words;
+use crate::gpu::pack::estimate_task_cost;
 use crate::params::LocalAssemblyParams;
 use crate::task::{ExtResult, ExtTask, TaskOutcome};
 use gpusim::DeviceConfig;
@@ -22,8 +22,12 @@ pub enum StripePolicy {
     /// cluster of heavy bin-3 tasks can pile onto one device. Kept as the
     /// load-balance comparison baseline.
     RoundRobin,
-    /// Greedy LPT bin-packing by [`estimate_task_words`]: tasks sorted
-    /// heaviest-first, each assigned to the least-loaded device.
+    /// Greedy LPT bin-packing on uniform machines: tasks sorted
+    /// heaviest-first by [`estimate_task_cost`], each assigned to the
+    /// device that would *finish it earliest* — `(load + w) / rate` — so a
+    /// device rated 0.5× receives roughly half the words of a 1× peer
+    /// (mixed-fleet support). With equal rates this degenerates to plain
+    /// least-loaded LPT.
     WordsLpt,
 }
 
@@ -42,6 +46,12 @@ pub struct MultiGpuStats {
     pub lost_devices: usize,
     /// Tasks re-run on a surviving device (or the CPU) after shard loss.
     pub redistributed_tasks: usize,
+    /// Per-device throughput learned from round 1 (estimated words per
+    /// simulated second), index = device id. A device with no usable
+    /// observation (lost shard, empty shard) reports its configured
+    /// relative rate rescaled by the fleet's mean observed-to-configured
+    /// ratio — these are the rates the shard-loss restripe ran with.
+    pub device_rates: Vec<f64>,
 }
 
 impl MultiGpuStats {
@@ -60,6 +70,10 @@ pub struct MultiGpuAssembler {
     params: LocalAssemblyParams,
     version: KernelVersion,
     stripe: StripePolicy,
+    /// Relative per-device throughput weights used by rate-aware LPT
+    /// (1.0 each by default — a homogeneous fleet). Units are free: only
+    /// ratios matter for striping.
+    rates: Vec<f64>,
 }
 
 /// Result of one device shard in round 1.
@@ -86,6 +100,7 @@ impl MultiGpuAssembler {
             params,
             version,
             stripe: StripePolicy::WordsLpt,
+            rates: vec![1.0; n_devices],
         }
     }
 
@@ -97,7 +112,8 @@ impl MultiGpuAssembler {
         version: KernelVersion,
     ) -> MultiGpuAssembler {
         assert!(!configs.is_empty(), "need at least one device");
-        MultiGpuAssembler { configs, params, version, stripe: StripePolicy::WordsLpt }
+        let rates = vec![1.0; configs.len()];
+        MultiGpuAssembler { configs, params, version, stripe: StripePolicy::WordsLpt, rates }
     }
 
     /// Override the striping policy (builder style).
@@ -106,19 +122,39 @@ impl MultiGpuAssembler {
         self
     }
 
+    /// Mixed fleet: per-device relative throughput for rate-aware LPT
+    /// (e.g. `[1.0, 0.5]` for one full-speed and one half-speed device).
+    /// In practice these come from a calibration run's
+    /// [`MultiGpuStats::device_rates`] — a previous round's learned rates
+    /// seed the next round's striping. Only ratios matter.
+    pub fn with_device_rates(mut self, rates: Vec<f64>) -> MultiGpuAssembler {
+        assert_eq!(rates.len(), self.configs.len(), "one rate per device");
+        assert!(
+            rates.iter().all(|r| r.is_finite() && *r > 0.0),
+            "device rates must be positive and finite, got {rates:?}"
+        );
+        self.rates = rates;
+        self
+    }
+
     fn n_devices(&self) -> usize {
         self.configs.len()
     }
 
-    /// Assign task indices to `n_bins` shards under the configured policy.
-    /// LPT shards keep their indices sorted ascending so per-device launch
-    /// order (and therefore results) is independent of assignment order.
+    /// Assign task indices to one shard per entry of `rates` under the
+    /// configured policy. LPT weighs each device's load by its rate
+    /// (earliest projected finish wins; strict `<` keeps ties on the
+    /// lowest device id, deterministic) and keeps shard indices sorted
+    /// ascending so per-device launch order (and therefore results) is
+    /// independent of assignment order. Round-robin ignores the rates —
+    /// that is exactly its (baseline) blindness.
     fn stripe_indices(
         &self,
         indices: &[usize],
         tasks: &[ExtTask],
-        n_bins: usize,
+        rates: &[f64],
     ) -> Vec<Vec<usize>> {
+        let n_bins = rates.len();
         let mut shards: Vec<Vec<usize>> = vec![Vec::new(); n_bins];
         match self.stripe {
             StripePolicy::RoundRobin => {
@@ -129,13 +165,20 @@ impl MultiGpuAssembler {
             StripePolicy::WordsLpt => {
                 let mut weighted: Vec<(u64, usize)> = indices
                     .iter()
-                    .map(|&i| (estimate_task_words(&tasks[i], &self.params).max(1), i))
+                    .map(|&i| (estimate_task_cost(&tasks[i], &self.params), i))
                     .collect();
                 weighted.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
                 let mut load = vec![0u64; n_bins];
                 for (w, i) in weighted {
-                    // Least-loaded device, lowest id on ties — deterministic.
-                    let dev = (0..n_bins).min_by_key(|&d| (load[d], d)).unwrap_or(0);
+                    let mut dev = 0usize;
+                    let mut dev_finish = f64::INFINITY;
+                    for (d, &rate) in rates.iter().enumerate() {
+                        let finish = (load[d] + w) as f64 / rate;
+                        if finish < dev_finish {
+                            dev_finish = finish;
+                            dev = d;
+                        }
+                    }
                     load[dev] += w;
                     shards[dev].push(i);
                 }
@@ -158,7 +201,13 @@ impl MultiGpuAssembler {
     pub fn extend_tasks(&self, tasks: &[ExtTask]) -> (Vec<ExtResult>, MultiGpuStats) {
         let n_devices = self.n_devices();
         let all: Vec<usize> = (0..tasks.len()).collect();
-        let assignment = self.stripe_indices(&all, tasks, n_devices);
+        let assignment = self.stripe_indices(&all, tasks, &self.rates);
+        // Per-shard scheduled cost — the "words" side of each device's
+        // round-1 rate observation.
+        let shard_words: Vec<u64> = assignment
+            .iter()
+            .map(|idx| idx.iter().map(|&i| estimate_task_cost(&tasks[i], &self.params)).sum())
+            .collect();
 
         // Round 1: run each device concurrently (host-side parallelism;
         // each device is an independent simulator). Devices do NOT fall
@@ -214,6 +263,26 @@ impl MultiGpuAssembler {
             }
         }
 
+        // Learn per-device throughput from round 1: estimated words over
+        // simulated device seconds. Devices without a usable observation
+        // (lost or empty shard) keep their configured relative rate,
+        // rescaled by the fleet's mean observed/configured ratio so both
+        // kinds live on one scale.
+        let observed: Vec<Option<f64>> = per_device
+            .iter()
+            .zip(&shard_words)
+            .map(|(stats, &w)| {
+                (w > 0 && stats.seconds > 0.0 && !stats.recovery.device_lost)
+                    .then(|| w as f64 / stats.seconds)
+            })
+            .collect();
+        let ratios: Vec<f64> =
+            observed.iter().zip(&self.rates).filter_map(|(o, &r)| o.map(|obs| obs / r)).collect();
+        let scale =
+            if ratios.is_empty() { 1.0 } else { ratios.iter().sum::<f64>() / ratios.len() as f64 };
+        let device_rates: Vec<f64> =
+            observed.iter().zip(&self.rates).map(|(o, &r)| o.unwrap_or(r * scale)).collect();
+
         // Round 2: redistribute lost work across surviving devices (fresh
         // engines on the survivors' configurations — their fault plans, if
         // any, re-arm, so this round uses CPU fallback as the final rung).
@@ -229,8 +298,11 @@ impl MultiGpuAssembler {
                 }
             } else {
                 // Stolen-back work is re-striped under the same policy —
-                // LPT again balances the (often heavy-skewed) retry set.
-                let restripe = self.stripe_indices(&retry, tasks, alive.len());
+                // LPT again balances the (often heavy-skewed) retry set,
+                // now weighted by the survivors' *learned* rates rather
+                // than the configured seeds.
+                let alive_rates: Vec<f64> = alive.iter().map(|&d| device_rates[d]).collect();
+                let restripe = self.stripe_indices(&retry, tasks, &alive_rates);
                 let restripe: Vec<(Vec<usize>, usize)> =
                     restripe.into_iter().zip(alive.iter().copied()).collect();
                 let round2: Vec<(usize, Vec<usize>, Vec<TaskOutcome>, GpuRunStats)> = restripe
@@ -265,6 +337,7 @@ impl MultiGpuAssembler {
                 total_device_s,
                 lost_devices,
                 redistributed_tasks,
+                device_rates,
             },
         )
     }
@@ -413,6 +486,68 @@ mod tests {
         assert_eq!(results, cpu, "host CPU is the last rung of the ladder");
         assert_eq!(stats.lost_devices, 2);
         assert!(stats.redistributed_tasks > 0);
+    }
+
+    #[test]
+    fn rate_aware_lpt_weights_loads_by_device_rate() {
+        let tasks = make_tasks(40);
+        let params = LocalAssemblyParams::for_tests();
+        let multi =
+            MultiGpuAssembler::new(DeviceConfig::tiny(), params.clone(), KernelVersion::V2, 2)
+                .with_device_rates(vec![1.0, 0.5]);
+        let all: Vec<usize> = (0..tasks.len()).collect();
+        let shards = multi.stripe_indices(&all, &tasks, &[1.0, 0.5]);
+        let words = |idx: &[usize]| {
+            idx.iter().map(|&i| estimate_task_cost(&tasks[i], &params)).sum::<u64>() as f64
+        };
+        let ratio = words(&shards[0]) / words(&shards[1]);
+        assert!((ratio - 2.0).abs() < 0.3, "2:1 rates must yield ~2:1 word shares, got {ratio:.2}");
+        // Heterogeneous rates are a scheduling knob only: results must stay
+        // byte-identical to the CPU reference.
+        let (results, stats) = multi.extend_tasks(&tasks);
+        assert_eq!(results, extend_all_cpu(&tasks, &params));
+        assert_eq!(stats.device_rates.len(), 2);
+    }
+
+    #[test]
+    fn equal_rates_reduce_to_plain_lpt() {
+        let tasks = make_tasks(30);
+        let params = LocalAssemblyParams::for_tests();
+        let multi =
+            MultiGpuAssembler::new(DeviceConfig::tiny(), params.clone(), KernelVersion::V2, 3);
+        let all: Vec<usize> = (0..tasks.len()).collect();
+        // The pre-rate LPT is the rates=[1,1,1] special case; loads must be
+        // near-even either way.
+        let shards = multi.stripe_indices(&all, &tasks, &[1.0, 1.0, 1.0]);
+        let loads: Vec<u64> = shards
+            .iter()
+            .map(|idx| idx.iter().map(|&i| estimate_task_cost(&tasks[i], &params)).sum())
+            .collect();
+        let (lo, hi) = (*loads.iter().min().unwrap(), *loads.iter().max().unwrap());
+        assert!(lo as f64 > 0.85 * hi as f64, "uniform rates must balance: {loads:?}");
+    }
+
+    #[test]
+    fn round1_learns_comparable_rates_on_homogeneous_fleet() {
+        let tasks = make_tasks(36);
+        let params = LocalAssemblyParams::for_tests();
+        let multi = MultiGpuAssembler::new(DeviceConfig::tiny(), params, KernelVersion::V2, 2);
+        let (_, stats) = multi.extend_tasks(&tasks);
+        assert_eq!(stats.device_rates.len(), 2);
+        assert!(
+            stats.device_rates.iter().all(|r| r.is_finite() && *r > 0.0),
+            "learned rates positive: {:?}",
+            stats.device_rates
+        );
+        let (lo, hi) = (
+            stats.device_rates[0].min(stats.device_rates[1]),
+            stats.device_rates[0].max(stats.device_rates[1]),
+        );
+        assert!(
+            lo > 0.5 * hi,
+            "identical devices must learn comparable rates, got {:?}",
+            stats.device_rates
+        );
     }
 
     #[test]

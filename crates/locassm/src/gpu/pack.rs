@@ -64,6 +64,16 @@ pub fn estimate_task_words(task: &ExtTask, params: &LocalAssemblyParams) -> u64 
         + layout::out_stride(params.max_total_extension)
 }
 
+/// [`estimate_task_words`] clamped to ≥ 1 — the *scheduling* cost of a
+/// task. Every scheduler (work-steal batches, the static bin-2 deal,
+/// multi-GPU LPT striping) must charge at least one word per task:
+/// a zero-cost task would advance no virtual clock and add no bin load,
+/// so one engine could drain arbitrarily many of them "for free" and the
+/// schedule's balance claims would be fiction.
+pub fn estimate_task_cost(task: &ExtTask, params: &LocalAssemblyParams) -> u64 {
+    estimate_task_words(task, params).max(1)
+}
+
 /// Pack a batch of tasks onto the device. Callers batch with
 /// [`estimate_task_words`] against the device budget first; an OOM anyway
 /// (estimate drift, or an injected allocation fault) is returned so the

@@ -38,6 +38,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod binning;
+pub mod calibrate;
 pub mod cpu;
 pub mod driver;
 pub mod gpu;
@@ -47,6 +48,7 @@ pub mod summary;
 pub mod task;
 
 pub use binning::{bin_tasks, Bin, BinStats};
+pub use calibrate::{CalibrationConfig, CalibrationReport, RateEstimator};
 pub use cpu::{extend_all_cpu, extend_all_cpu_isolated, extend_end_cpu};
 pub use driver::{DriverError, OverlapDriver, OverlapOutcome, SchedulePolicy};
 pub use params::{KShift, LocalAssemblyParams, ShiftDir, WalkState};

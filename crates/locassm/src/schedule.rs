@@ -17,15 +17,21 @@
 //! Because the GPU is a simulator, "time" here is **virtual**: the GPU
 //! clock advances by [`GpuRunStats::wall_s`] (simulated kernel seconds plus
 //! the modeled pack cost minus double-buffer savings) and the CPU clock by
-//! `estimated words / cpu_words_per_s`. That keeps the schedule — and
-//! therefore every test and bench number — deterministic, while the actual
-//! task execution still runs on the host engines. Results are
-//! index-aligned and byte-identical to [`crate::cpu::extend_all_cpu`]
-//! regardless of who ran what (the engine-equivalence invariant).
+//! `estimated words / rate`, where the rate starts at the configured
+//! `cpu_words_per_s` **seed** and — with calibration enabled — converges on
+//! the observed throughput via the EWMA of [`crate::calibrate`], rebasing
+//! the CPU clock after every observation. That keeps the schedule — and
+//! therefore every test and bench number — deterministic (observations are
+//! simulated or modeled, never host wall when a true rate is configured),
+//! while the actual task execution still runs on the host engines.
+//! Results are index-aligned and byte-identical to
+//! [`crate::cpu::extend_all_cpu`] regardless of who ran what (the
+//! engine-equivalence invariant).
 
 use crate::binning::BinStats;
+use crate::calibrate::{CalibrationConfig, CalibrationReport, RateEstimator};
 use crate::cpu::extend_cpu_isolated_refs;
-use crate::gpu::pack::estimate_task_words;
+use crate::gpu::pack::estimate_task_cost;
 use crate::gpu::{GpuLocalAssembler, GpuRunStats, KernelVersion};
 use crate::params::LocalAssemblyParams;
 use crate::task::{ExtTask, TaskOutcome};
@@ -38,20 +44,30 @@ pub struct StealConfig {
     /// Steal granularity: target estimated device-words per batch. Smaller
     /// batches balance better but pay more per-launch overhead.
     pub batch_words: u64,
-    /// Modeled CPU-engine throughput in estimated words per second — the
-    /// virtual-clock cost of a batch on the CPU side. The default sits a
-    /// few× below the simulated V100's effective rate, matching the
-    /// paper's ~4.3× local-assembly speedup at node level.
+    /// Seed for the modeled CPU-engine throughput in estimated words per
+    /// second — the virtual-clock cost of a batch on the CPU side. The
+    /// default sits a few× below the simulated V100's effective rate,
+    /// matching the paper's ~4.3× local-assembly speedup at node level.
+    /// With [`StealConfig::calibration`] enabled (the default) this is
+    /// only the starting estimate; observed batch times take over as the
+    /// run progresses. With calibration off it is the rate, full stop.
     pub cpu_words_per_s: f64,
     /// Double-buffer the GPU engine: pack batch N+1 on the host while the
     /// device executes batch N (modeled as saved wall seconds in
     /// [`GpuRunStats::overlap_saved_s`]).
     pub double_buffer: bool,
+    /// Online rate-calibration loop (see [`crate::calibrate`]).
+    pub calibration: CalibrationConfig,
 }
 
 impl Default for StealConfig {
     fn default() -> Self {
-        StealConfig { batch_words: 64 * 1024, cpu_words_per_s: 5.0e7, double_buffer: true }
+        StealConfig {
+            batch_words: 64 * 1024,
+            cpu_words_per_s: 5.0e7,
+            double_buffer: true,
+            calibration: CalibrationConfig::default(),
+        }
     }
 }
 
@@ -91,6 +107,9 @@ pub struct ScheduleReport {
     pub cpu_model_s: f64,
     /// GPU virtual clock at the end of the run (simulated + pack seconds).
     pub gpu_model_s: f64,
+    /// What the calibration loop learned (work-steal runs only; `None`
+    /// for the static split, whose shares are fixed up front).
+    pub calibration: Option<CalibrationReport>,
 }
 
 impl ScheduleReport {
@@ -124,7 +143,7 @@ pub fn build_batches(
     batch_words: u64,
 ) -> Vec<TaskBatch> {
     let batch_words = batch_words.max(1);
-    let cost = |i: usize| estimate_task_words(&tasks[i], params).max(1);
+    let cost = |i: usize| estimate_task_cost(&tasks[i], params);
 
     // Head: bin 3, heaviest first, greedy-filled up to the granularity (a
     // single oversized task forms its own batch — the engine's internal
@@ -147,9 +166,12 @@ pub fn build_batches(
         batches.push(cur);
     }
 
-    // Tail: bin 2, dealt round-robin in descending size order across K
-    // batches, so every batch carries a comparable words total and a mix of
-    // sizes — the size-interleaving that fixes the prefix bias.
+    // Tail: bin 2, dealt in descending size order into whichever of the K
+    // batches is currently lightest (greedy LPT), so every batch carries a
+    // comparable words total and a mix of sizes. A plain `j % k` deal here
+    // biased batch 0: with items sorted descending it collected the larger
+    // item of every round, so the first-dealt batch systematically
+    // outweighed the last.
     let mut small: Vec<(u64, usize)> = bins.small.iter().map(|&i| (cost(i), i)).collect();
     if !small.is_empty() {
         small.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
@@ -157,10 +179,15 @@ pub fn build_batches(
         let k = (total.div_ceil(batch_words) as usize).clamp(1, small.len());
         let mut light: Vec<TaskBatch> =
             (0..k).map(|_| TaskBatch { idx: Vec::new(), est_words: 0, heavy: false }).collect();
-        for (j, (w, i)) in small.into_iter().enumerate() {
-            let b = &mut light[j % k];
-            b.idx.push(i);
-            b.est_words += w;
+        for (w, i) in small {
+            let mut best = 0;
+            for b in 1..k {
+                if light[b].est_words < light[best].est_words {
+                    best = b;
+                }
+            }
+            light[best].idx.push(i);
+            light[best].est_words += w;
         }
         batches.extend(light);
     }
@@ -184,6 +211,59 @@ pub(crate) struct StealRun {
     pub gpu_tasks: usize,
 }
 
+/// CPU-engine virtual clock with the calibration loop folded in.
+///
+/// Each finished CPU batch yields an observation `(est_words, seconds)`
+/// where `seconds` is either the measured host wall time or — when a
+/// deterministic true rate is configured — the modeled time at that rate.
+/// With calibration enabled the EWMA absorbs the observation and the clock
+/// is **rebased** to `words_done / rate`, so the schedule's view of
+/// elapsed CPU time always reflects the current estimate rather than a sum
+/// of possibly mis-seeded per-batch advances; a 10×-wrong seed is forgiven
+/// as soon as the estimate converges. With calibration off the clock
+/// advances at the constant seed rate, exactly the pre-calibration
+/// behavior.
+struct CpuClock {
+    est: RateEstimator,
+    seed: f64,
+    enabled: bool,
+    true_rate: Option<f64>,
+    clock: f64,
+    words_done: u64,
+    realized_s: f64,
+}
+
+impl CpuClock {
+    fn new(cfg: &StealConfig) -> CpuClock {
+        CpuClock {
+            est: RateEstimator::seeded(cfg.cpu_words_per_s, cfg.calibration.alpha),
+            seed: cfg.cpu_words_per_s,
+            enabled: cfg.calibration.enabled,
+            true_rate: cfg.calibration.cpu_true_words_per_s,
+            clock: 0.0,
+            words_done: 0,
+            realized_s: 0.0,
+        }
+    }
+
+    /// Account one finished CPU batch: `est_words` of cost retired in
+    /// `measured_s` host wall seconds.
+    fn advance(&mut self, est_words: u64, measured_s: f64) {
+        let observed_s = match self.true_rate {
+            Some(r) => est_words as f64 / r,
+            None => measured_s,
+        };
+        self.words_done += est_words;
+        self.realized_s += observed_s.max(0.0);
+        if self.enabled {
+            self.est.observe(est_words, observed_s);
+            self.clock = self.words_done as f64 / self.est.rate_or(self.seed);
+        } else {
+            self.clock += est_words as f64 / self.seed;
+        }
+    }
+}
+
 /// Drain the deque with two engines under virtual clocks, writing per-task
 /// outcomes into `results` (index-aligned with `tasks`).
 pub(crate) fn run_work_steal(
@@ -204,7 +284,10 @@ pub(crate) fn run_work_steal(
     let mut gpu_dead = false;
     let mut fell_back = false;
     let (mut cpu_wall, mut gpu_wall) = (0.0f64, 0.0f64);
-    let (mut cpu_clock, mut gpu_clock) = (0.0f64, 0.0f64);
+    let mut cpu = CpuClock::new(cfg);
+    let mut gpu_est = RateEstimator::unseeded(cfg.calibration.alpha);
+    let mut gpu_realized = 0.0f64;
+    let mut gpu_clock = 0.0f64;
     let (mut cpu_tasks, mut gpu_tasks) = (0usize, 0usize);
     let (mut head, mut tail) = (0usize, batches.len());
 
@@ -212,7 +295,7 @@ pub(crate) fn run_work_steal(
         // The engine whose virtual clock is behind takes the next batch;
         // the GPU from the heavy head, the CPU from the light tail. Ties go
         // to the GPU (the paper launches the GPU first).
-        if !gpu_dead && gpu_clock <= cpu_clock {
+        if !gpu_dead && gpu_clock <= cpu.clock {
             let batch = &batches[head];
             head += 1;
             let refs: Vec<&ExtTask> = batch.idx.iter().map(|&i| &tasks[i]).collect();
@@ -227,6 +310,8 @@ pub(crate) fn run_work_steal(
                         results[i] = Some(outcome);
                     }
                     gpu_clock += stats.wall_s();
+                    gpu_realized += stats.wall_s().max(0.0);
+                    gpu_est.observe(batch.est_words, stats.wall_s());
                     if stats.recovery.device_lost {
                         // Reset budget exhausted: route the rest of the
                         // deque to the CPU instead of the per-task fallback.
@@ -247,22 +332,37 @@ pub(crate) fn run_work_steal(
                     // deque drains CPU-side from here on.
                     gpu_dead = true;
                     fell_back = true;
-                    run_batch_cpu(tasks, batch, params, cfg, results, &mut report, &mut cpu_wall);
-                    cpu_clock += batch.est_words as f64 / cfg.cpu_words_per_s;
+                    let s = run_batch_cpu(tasks, batch, params, results, &mut report);
+                    cpu_wall += s;
+                    cpu.advance(batch.est_words, s);
                     cpu_tasks += batch.idx.len();
                 }
             }
         } else {
             tail -= 1;
             let batch = &batches[tail];
-            run_batch_cpu(tasks, batch, params, cfg, results, &mut report, &mut cpu_wall);
-            cpu_clock += batch.est_words as f64 / cfg.cpu_words_per_s;
+            let s = run_batch_cpu(tasks, batch, params, results, &mut report);
+            cpu_wall += s;
+            cpu.advance(batch.est_words, s);
             cpu_tasks += batch.idx.len();
         }
     }
 
-    report.cpu_model_s = cpu_clock;
+    report.cpu_model_s = cpu.clock;
     report.gpu_model_s = gpu_clock;
+    let realized = cpu.realized_s.max(gpu_realized);
+    let model = report.makespan_model_s();
+    report.calibration = Some(CalibrationReport {
+        enabled: cpu.enabled,
+        cpu_seed_words_per_s: cpu.seed,
+        cpu_words_per_s: cpu.est.rate_or(cpu.seed),
+        gpu_words_per_s: gpu_est.rate_or(0.0),
+        cpu_updates: cpu.est.updates(),
+        gpu_updates: gpu_est.updates(),
+        cpu_realized_s: cpu.realized_s,
+        gpu_realized_s: gpu_realized,
+        rel_err_vs_realized: if realized > 0.0 { (model - realized).abs() / realized } else { 0.0 },
+    });
     StealRun {
         report,
         gpu_stats: gpu_ran.then_some(gpu_stats),
@@ -274,19 +374,19 @@ pub(crate) fn run_work_steal(
     }
 }
 
+/// Run one batch on the CPU engine; returns its measured host wall
+/// seconds (the calibration loop's fallback observation source).
 fn run_batch_cpu(
     tasks: &[ExtTask],
     batch: &TaskBatch,
     params: &LocalAssemblyParams,
-    _cfg: &StealConfig,
     results: &mut [Option<TaskOutcome>],
     report: &mut ScheduleReport,
-    cpu_wall: &mut f64,
-) {
+) -> f64 {
     let refs: Vec<&ExtTask> = batch.idx.iter().map(|&i| &tasks[i]).collect();
     let t = Instant::now();
     let outcomes = extend_cpu_isolated_refs(&refs, params);
-    *cpu_wall += t.elapsed().as_secs_f64();
+    let batch_wall = t.elapsed().as_secs_f64();
     for (&i, outcome) in batch.idx.iter().zip(outcomes) {
         results[i] = Some(outcome);
     }
@@ -295,6 +395,7 @@ fn run_batch_cpu(
     if batch.heavy {
         report.cpu_stole_heavy += 1;
     }
+    batch_wall
 }
 
 #[cfg(test)]
@@ -358,6 +459,37 @@ mod tests {
             (min as f64) > 0.5 * max as f64,
             "light batch totals must be comparable: min {min} vs max {max}"
         );
+    }
+
+    #[test]
+    fn cpu_clock_rebases_after_convergence_but_constant_when_off() {
+        // Seeded 10× too slow against a deterministic true rate: the
+        // calibrated clock must end near words/true_rate (the mis-seed is
+        // rebased away), while the uncalibrated clock stays at the seed's
+        // reading for the same batches.
+        let mk = |enabled: bool| StealConfig {
+            cpu_words_per_s: 1.0e3,
+            calibration: CalibrationConfig {
+                enabled,
+                cpu_true_words_per_s: Some(1.0e4),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (mut on, mut off) = (CpuClock::new(&mk(true)), CpuClock::new(&mk(false)));
+        for _ in 0..10 {
+            on.advance(1_000, f64::NAN); // measured wall unused: true rate set
+            off.advance(1_000, f64::NAN);
+        }
+        let oracle = 10_000.0 / 1.0e4; // 1.0 s of true CPU time
+        assert!((off.clock - 10.0).abs() < 1e-9, "constant seed clock: {}", off.clock);
+        assert!(
+            (on.clock - oracle).abs() / oracle < 0.01,
+            "rebased clock must track the converged rate: {} vs {oracle}",
+            on.clock
+        );
+        assert_eq!(on.est.updates(), 10);
+        assert_eq!(on.realized_s, off.realized_s, "realized time is belief-independent");
     }
 
     #[test]

@@ -91,7 +91,7 @@ USAGE:
 
   mhm2rs assemble --r1 FILE --r2 FILE --out DIR
       [--k N] [--gpu] [--kernel v1|v2] [--iterative] [--refs FILE] [--sanitize]
-      [--overlap] [--cpu-bin2-fraction F]
+      [--overlap] [--cpu-bin2-fraction F] [--calibrate] [--cpu-words-per-s R]
       Assemble paired FASTQ into contigs.fasta + scaffolds.fasta.
       --sanitize runs the GPU engine under gpucheck (memcheck + racecheck +
       synccheck) and appends its findings to the report; implies --gpu.
@@ -99,6 +99,12 @@ USAGE:
       work-stealing scheduler; --cpu-bin2-fraction F switches it to the
       static split keeping fraction F of bin-2 tasks on the CPU (implies
       --overlap; F must be in [0,1]).
+      --cpu-words-per-s R pins the scheduler's CPU-throughput model to R
+      words/s and turns the online rate calibration OFF — R is an explicit
+      override, trusted as-is. Add --calibrate to use R only as the seed
+      and let observed batch times take over. Either flag implies
+      --overlap; both conflict with --cpu-bin2-fraction (the static split
+      has no rate model).
 ";
 
 /// Entry point shared by main() and the tests.
@@ -155,7 +161,27 @@ pub fn run_assemble(cli: &CliArgs) -> Result<String, String> {
 
     let mut cfg = PipelineConfig { k: cli.get_num("k", 31)?, ..Default::default() };
     let sanitize = cli.has("sanitize");
-    let overlap = cli.has("overlap") || cli.get("cpu-bin2-fraction").is_some();
+    let calibrate = cli.has("calibrate");
+    let rate_override = match cli.get("cpu-words-per-s") {
+        None => None,
+        Some(v) => {
+            let rate: f64 =
+                v.parse().map_err(|_| format!("--cpu-words-per-s: cannot parse {v:?}"))?;
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err(format!("--cpu-words-per-s must be a positive rate, got {rate}"));
+            }
+            Some(rate)
+        }
+    };
+    if (calibrate || rate_override.is_some()) && cli.get("cpu-bin2-fraction").is_some() {
+        return Err("--calibrate/--cpu-words-per-s need the work-stealing scheduler and cannot \
+             be combined with the static --cpu-bin2-fraction split"
+            .to_string());
+    }
+    let overlap = cli.has("overlap")
+        || cli.get("cpu-bin2-fraction").is_some()
+        || calibrate
+        || rate_override.is_some();
     if sanitize || overlap || cli.has("gpu") || cli.get("kernel").is_some() {
         let version = match cli.get("kernel").unwrap_or("v2") {
             "v1" => KernelVersion::V1,
@@ -177,7 +203,18 @@ pub fn run_assemble(cli: &CliArgs) -> Result<String, String> {
                     }
                     locassm::SchedulePolicy::Static { cpu_bin2_fraction: frac }
                 }
-                None => locassm::SchedulePolicy::WorkSteal(locassm::StealConfig::default()),
+                None => {
+                    let mut steal = locassm::StealConfig::default();
+                    if let Some(rate) = rate_override {
+                        steal.cpu_words_per_s = rate;
+                        // An explicit rate is a statement of fact: hold it
+                        // unless the user also asked for the feedback loop.
+                        if !calibrate {
+                            steal.calibration = locassm::CalibrationConfig::off();
+                        }
+                    }
+                    locassm::SchedulePolicy::WorkSteal(steal)
+                }
             };
             EngineChoice::Overlap { device, version, schedule }
         } else {
@@ -436,6 +473,62 @@ mod tests {
         )))
         .expect_err("bad fraction must be rejected");
         assert!(err.contains("cpu-bin2-fraction"), "{err}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn calibration_flags_drive_the_scheduler() {
+        let dir = std::env::temp_dir().join(format!("mhm2rs_calibrate_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_string_lossy().to_string();
+        run(&argv(&format!("simulate --out {out} --preset arctic --scale 0.01")))
+            .expect("simulate");
+
+        run(&argv(&format!(
+            "assemble --r1 {out}/reads_1.fastq --r2 {out}/reads_2.fastq --out {out}/asm"
+        )))
+        .expect("cpu assemble");
+        let cpu = std::fs::read_to_string(dir.join("asm/contigs.fasta")).unwrap();
+
+        // --cpu-words-per-s alone: implies --overlap, pins the rate, and
+        // switches calibration OFF. Contigs stay byte-identical.
+        let report = run(&argv(&format!(
+            "assemble --r1 {out}/reads_1.fastq --r2 {out}/reads_2.fastq --out {out}/asm_pin \
+             --cpu-words-per-s 1e6"
+        )))
+        .expect("pinned-rate assemble");
+        assert!(report.contains("overlap scheduler (work-steal)"), "{report}");
+        assert!(report.contains("off (seed rate held)"), "{report}");
+        assert!(report.contains("seed 1.000e6"), "{report}");
+        let pinned = std::fs::read_to_string(dir.join("asm_pin/contigs.fasta")).unwrap();
+        assert_eq!(cpu, pinned);
+
+        // --calibrate on top: the same rate becomes only the seed.
+        let report = run(&argv(&format!(
+            "assemble --r1 {out}/reads_1.fastq --r2 {out}/reads_2.fastq --out {out}/asm_cal \
+             --cpu-words-per-s 1e6 --calibrate"
+        )))
+        .expect("calibrated assemble");
+        assert!(report.contains("on (EWMA feedback)"), "{report}");
+        let cal = std::fs::read_to_string(dir.join("asm_cal/contigs.fasta")).unwrap();
+        assert_eq!(cpu, cal);
+
+        // Bad rates and the static-split conflict are rejected up front.
+        for bad in ["0", "-5", "nan", "inf", "squid"] {
+            let err = run(&argv(&format!(
+                "assemble --r1 {out}/reads_1.fastq --r2 {out}/reads_2.fastq \
+                 --out {out}/asm_bad --cpu-words-per-s {bad}"
+            )))
+            .expect_err("bad rate must be rejected");
+            assert!(err.contains("cpu-words-per-s"), "{bad}: {err}");
+        }
+        let err = run(&argv(&format!(
+            "assemble --r1 {out}/reads_1.fastq --r2 {out}/reads_2.fastq --out {out}/asm_bad \
+             --calibrate --cpu-bin2-fraction 0.5"
+        )))
+        .expect_err("static split has no rate model");
+        assert!(err.contains("static"), "{err}");
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -37,5 +37,5 @@ pub use pipeline::{
     run_pipeline, EngineChoice, Phase, PhaseTimings, PipelineConfig, PipelineResult,
 };
 pub use scaffold::{scaffold_contigs, Scaffold, ScaffoldParams};
-pub use scaling::{PaperAnchors, ScalingModel};
+pub use scaling::{PaperAnchors, ScalingError, ScalingModel};
 pub use stats::{evaluate_against_refs, AssemblyStats, RefEval};

@@ -24,6 +24,35 @@
 use crate::pipeline::{Phase, PhaseTimings};
 use serde::{Deserialize, Serialize};
 
+/// Why a scaling-model query was rejected. The model is *anchored*, not a
+/// general law: it can only interpolate between its calibration points, so
+/// out-of-domain queries return an error instead of a silently
+/// extrapolated number (the `Comm` log term reaches 0 at N=1, and a phase
+/// missing from the anchor table used to evaluate to 0 s with no signal).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalingError {
+    /// The queried phase has no entry in the anchor table.
+    UnknownPhase { phase: Phase },
+    /// `nodes` is outside the anchored range `[nodes_anchor, nodes_far]`
+    /// (or not finite).
+    NodesOutOfRange { nodes: f64, lo: f64, hi: f64 },
+}
+
+impl std::fmt::Display for ScalingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScalingError::UnknownPhase { phase } => {
+                write!(f, "phase {:?} has no anchor entry in the scaling model", phase)
+            }
+            ScalingError::NodesOutOfRange { nodes, lo, hi } => {
+                write!(f, "node count {nodes} outside the anchored range [{lo}, {hi}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScalingError {}
+
 /// How a phase scales with node count.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum PhaseScaling {
@@ -117,65 +146,84 @@ impl ScalingModel {
         }
     }
 
+    /// Reject queries outside the anchored node range. Every public
+    /// evaluation goes through this: the anchors calibrate the model on
+    /// `[nodes_anchor, nodes_far]` only, and below the anchor the `Comm`
+    /// log term turns negative-curvature nonsense (0 at N=1).
+    fn check_nodes(&self, nodes: f64) -> Result<(), ScalingError> {
+        let (lo, hi) = (self.anchors.nodes_anchor, self.anchors.nodes_far);
+        if !nodes.is_finite() || nodes < lo || nodes > hi {
+            return Err(ScalingError::NodesOutOfRange { nodes, lo, hi });
+        }
+        Ok(())
+    }
+
     /// CPU local-assembly seconds at `nodes`.
-    pub fn la_cpu_s(&self, nodes: f64) -> f64 {
-        self.la_work_node_seconds / nodes
+    pub fn la_cpu_s(&self, nodes: f64) -> Result<f64, ScalingError> {
+        self.check_nodes(nodes)?;
+        Ok(self.la_work_node_seconds / nodes)
     }
 
     /// GPU local-assembly seconds at `nodes` (work + fixed overhead).
-    pub fn la_gpu_s(&self, nodes: f64) -> f64 {
-        self.gpu_work_node_seconds / nodes + self.gpu_overhead_s
+    pub fn la_gpu_s(&self, nodes: f64) -> Result<f64, ScalingError> {
+        self.check_nodes(nodes)?;
+        Ok(self.gpu_work_node_seconds / nodes + self.gpu_overhead_s)
     }
 
     /// Local-assembly speedup at `nodes` (the Fig. 13 triangles).
-    pub fn la_speedup(&self, nodes: f64) -> f64 {
-        self.la_cpu_s(nodes) / self.la_gpu_s(nodes)
+    pub fn la_speedup(&self, nodes: f64) -> Result<f64, ScalingError> {
+        Ok(self.la_cpu_s(nodes)? / self.la_gpu_s(nodes)?)
     }
 
-    /// Seconds of one phase at `nodes` with CPU local assembly.
-    pub fn phase_cpu_s(&self, phase: Phase, nodes: f64) -> f64 {
+    /// Seconds of one phase at `nodes` with CPU local assembly. A phase
+    /// with no anchor entry is an error — it used to evaluate to 0 s,
+    /// which silently shrank any total it was summed into.
+    pub fn phase_cpu_s(&self, phase: Phase, nodes: f64) -> Result<f64, ScalingError> {
+        self.check_nodes(nodes)?;
         let a = &self.anchors;
         let (_, frac, scaling) = a
             .phases
             .iter()
             .find(|(p, _, _)| *p == phase)
             .copied()
-            .unwrap_or((phase, 0.0, PhaseScaling::Local));
+            .ok_or(ScalingError::UnknownPhase { phase })?;
         let t64 = a.total_anchor_s * frac;
         let ratio = a.nodes_anchor / nodes;
-        match scaling {
+        Ok(match scaling {
             PhaseScaling::Local => t64 * ratio,
             PhaseScaling::Fixed => t64,
             PhaseScaling::Comm(c) => {
                 t64 * ((1.0 - c) * ratio + c * nodes.log2() / a.nodes_anchor.log2())
             }
-        }
+        })
     }
 
-    /// Full-pipeline timings at `nodes`, CPU or GPU local assembly.
-    pub fn pipeline_at(&self, nodes: f64, gpu_la: bool) -> PhaseTimings {
+    /// Full-pipeline timings at `nodes`, CPU or GPU local assembly. Every
+    /// phase of [`Phase::ALL`] must have an anchor entry.
+    pub fn pipeline_at(&self, nodes: f64, gpu_la: bool) -> Result<PhaseTimings, ScalingError> {
+        self.check_nodes(nodes)?;
         let mut t = PhaseTimings::new();
         for p in Phase::ALL {
             let s = if p == Phase::LocalAssembly {
                 if gpu_la {
-                    self.la_gpu_s(nodes)
+                    self.la_gpu_s(nodes)?
                 } else {
-                    self.la_cpu_s(nodes)
+                    self.la_cpu_s(nodes)?
                 }
             } else {
-                self.phase_cpu_s(p, nodes)
+                self.phase_cpu_s(p, nodes)?
             };
             t.add(p, s);
         }
-        t
+        Ok(t)
     }
 
     /// Whole-pipeline speedup from GPU local assembly (Fig. 14 triangles),
     /// expressed as a percentage improvement.
-    pub fn overall_speedup_pct(&self, nodes: f64) -> f64 {
-        let cpu = self.pipeline_at(nodes, false).total();
-        let gpu = self.pipeline_at(nodes, true).total();
-        100.0 * (cpu - gpu) / gpu
+    pub fn overall_speedup_pct(&self, nodes: f64) -> Result<f64, ScalingError> {
+        let cpu = self.pipeline_at(nodes, false)?.total();
+        let gpu = self.pipeline_at(nodes, true)?.total();
+        Ok(100.0 * (cpu - gpu) / gpu)
     }
 }
 
@@ -190,8 +238,8 @@ mod tests {
     #[test]
     fn anchors_reproduced_exactly() {
         let m = model();
-        assert!((m.la_speedup(64.0) - 7.0).abs() < 1e-9);
-        assert!((m.la_speedup(1024.0) - 2.65).abs() < 1e-9);
+        assert!((m.la_speedup(64.0).unwrap() - 7.0).abs() < 1e-9);
+        assert!((m.la_speedup(1024.0).unwrap() - 2.65).abs() < 1e-9);
     }
 
     #[test]
@@ -199,7 +247,7 @@ mod tests {
         let m = model();
         let mut prev = f64::INFINITY;
         for n in [64.0, 128.0, 256.0, 512.0, 1024.0] {
-            let s = m.la_speedup(n);
+            let s = m.la_speedup(n).unwrap();
             assert!(s < prev, "speedup must decay with nodes");
             assert!(s > 1.0, "GPU must stay faster at {n} nodes");
             prev = s;
@@ -211,7 +259,7 @@ mod tests {
         // With no extra fitting, the model must land near the paper's
         // observed post-offload numbers: total ≈ 1495 s, LA ≈ 6%.
         let m = model();
-        let gpu64 = m.pipeline_at(64.0, true);
+        let gpu64 = m.pipeline_at(64.0, true).unwrap();
         let total = gpu64.total();
         assert!(
             (total - 1495.0).abs() / 1495.0 < 0.05,
@@ -227,8 +275,8 @@ mod tests {
     #[test]
     fn overall_speedup_peaks_early_and_decays() {
         let m = model();
-        let s64 = m.overall_speedup_pct(64.0);
-        let s1024 = m.overall_speedup_pct(1024.0);
+        let s64 = m.overall_speedup_pct(64.0).unwrap();
+        let s1024 = m.overall_speedup_pct(1024.0).unwrap();
         assert!(
             (s64 - 42.0).abs() < 6.0,
             "64-node overall speedup {s64:.1}% should be near the paper's 42%"
@@ -240,16 +288,73 @@ mod tests {
     fn phase_scaling_classes_behave() {
         let m = model();
         // Local phases halve when nodes double.
-        let a = m.phase_cpu_s(Phase::MergeReads, 64.0);
-        let b = m.phase_cpu_s(Phase::MergeReads, 128.0);
+        let a = m.phase_cpu_s(Phase::MergeReads, 64.0).unwrap();
+        let b = m.phase_cpu_s(Phase::MergeReads, 128.0).unwrap();
         assert!((a / b - 2.0).abs() < 1e-9);
         // Fixed phases do not change.
-        assert_eq!(m.phase_cpu_s(Phase::FileIo, 64.0), m.phase_cpu_s(Phase::FileIo, 1024.0));
+        assert_eq!(
+            m.phase_cpu_s(Phase::FileIo, 64.0).unwrap(),
+            m.phase_cpu_s(Phase::FileIo, 1024.0).unwrap()
+        );
         // Comm phases shrink slower than local ones.
-        let ka = m.phase_cpu_s(Phase::KmerAnalysis, 64.0);
-        let kb = m.phase_cpu_s(Phase::KmerAnalysis, 1024.0);
+        let ka = m.phase_cpu_s(Phase::KmerAnalysis, 64.0).unwrap();
+        let kb = m.phase_cpu_s(Phase::KmerAnalysis, 1024.0).unwrap();
         assert!(ka / kb < 16.0, "comm phase cannot scale perfectly");
         assert!(kb < ka, "but it must still shrink somewhat");
+    }
+
+    #[test]
+    fn unknown_phase_is_an_error_not_zero_seconds() {
+        // Regression: a phase missing from the anchor table used to
+        // evaluate to 0 s via `unwrap_or` — a typo'd table shrank totals
+        // with no signal. It must be a hard error now.
+        let mut anchors = PaperAnchors::default();
+        anchors.phases.retain(|(p, _, _)| *p != Phase::MergeReads);
+        let m = ScalingModel::from_anchors(anchors);
+        let err = m.phase_cpu_s(Phase::MergeReads, 64.0).expect_err("missing phase must error");
+        assert_eq!(err, ScalingError::UnknownPhase { phase: Phase::MergeReads });
+        // And pipeline_at (which sums all phases) must propagate it.
+        assert!(m.pipeline_at(64.0, false).is_err());
+    }
+
+    #[test]
+    fn out_of_range_nodes_rejected_boundaries_accepted() {
+        // Regression: below the anchor the Comm log term silently
+        // extrapolated (reaching 0 s at N=1). The model now only answers
+        // inside its anchored range; both boundaries are inclusive.
+        let m = model();
+        for n in [1.0, 2.0, 63.999, 1024.001, 4096.0, 0.0, -64.0, f64::NAN, f64::INFINITY] {
+            for query in [
+                m.la_cpu_s(n),
+                m.la_gpu_s(n),
+                m.la_speedup(n),
+                m.phase_cpu_s(Phase::KmerAnalysis, n),
+                m.overall_speedup_pct(n),
+            ] {
+                let err = query.expect_err("out-of-range nodes must be rejected");
+                assert!(
+                    matches!(err, ScalingError::NodesOutOfRange { lo, hi, .. }
+                        if lo == 64.0 && hi == 1024.0),
+                    "nodes {n}: got {err:?}"
+                );
+            }
+            assert!(m.pipeline_at(n, true).is_err(), "nodes {n}");
+        }
+        for n in [64.0, 65.0, 512.0, 1024.0] {
+            assert!(m.la_speedup(n).is_ok(), "in-range nodes {n} must be accepted");
+            assert!(m.pipeline_at(n, false).is_ok(), "in-range nodes {n} must be accepted");
+        }
+        // An anchor set calibrated at small scale accepts its own range
+        // (the fig12 harness anchors at 2–32 nodes).
+        let small = ScalingModel::from_anchors(PaperAnchors {
+            nodes_anchor: 2.0,
+            nodes_far: 32.0,
+            la_speedup_anchor: 4.3,
+            la_speedup_far: 2.0,
+            ..PaperAnchors::default()
+        });
+        assert!(small.la_speedup(2.0).is_ok());
+        assert!(small.la_speedup(64.0).is_err(), "outside its own far anchor");
     }
 
     #[test]

@@ -19,12 +19,12 @@ fn main() {
     for nodes in [64.0, 96.0, 128.0, 192.0, 256.0, 384.0, 512.0, 768.0, 1024.0] {
         rows.push(vec![
             format!("{nodes:.0}"),
-            format!("{:.1}", model.la_cpu_s(nodes)),
-            format!("{:.1}", model.la_gpu_s(nodes)),
-            format!("{:.2}x", model.la_speedup(nodes)),
-            format!("{:.0}", model.pipeline_at(nodes, false).total()),
-            format!("{:.0}", model.pipeline_at(nodes, true).total()),
-            format!("{:.1}%", model.overall_speedup_pct(nodes)),
+            format!("{:.1}", model.la_cpu_s(nodes).expect("anchored node count")),
+            format!("{:.1}", model.la_gpu_s(nodes).expect("anchored node count")),
+            format!("{:.2}x", model.la_speedup(nodes).expect("anchored node count")),
+            format!("{:.0}", model.pipeline_at(nodes, false).expect("anchored node count").total()),
+            format!("{:.0}", model.pipeline_at(nodes, true).expect("anchored node count").total()),
+            format!("{:.1}%", model.overall_speedup_pct(nodes).expect("anchored node count")),
         ]);
     }
     println!(
@@ -54,9 +54,9 @@ fn main() {
         m.gpu_overhead_s *= scale;
         rows.push(vec![
             format!("{:.2}", m.gpu_overhead_s),
-            format!("{:.2}x", m.la_speedup(64.0)),
-            format!("{:.2}x", m.la_speedup(256.0)),
-            format!("{:.2}x", m.la_speedup(1024.0)),
+            format!("{:.2}x", m.la_speedup(64.0).expect("anchored node count")),
+            format!("{:.2}x", m.la_speedup(256.0).expect("anchored node count")),
+            format!("{:.2}x", m.la_speedup(1024.0).expect("anchored node count")),
         ]);
     }
     println!(

@@ -11,11 +11,11 @@
 
 use bioseq::{DnaSeq, Read};
 use gpusim::{DeviceConfig, Fault, FaultPlan};
-use locassm::gpu::pack::estimate_task_words;
+use locassm::gpu::pack::{estimate_task_cost, estimate_task_words};
 use locassm::gpu::{KernelVersion, MultiGpuAssembler, StripePolicy};
 use locassm::{
-    extend_all_cpu, ContigEnd, ExtTask, LocalAssemblyParams, OverlapDriver, SchedulePolicy,
-    StealConfig,
+    bin_tasks, build_batches, extend_all_cpu, CalibrationConfig, ContigEnd, ExtTask,
+    LocalAssemblyParams, OverlapDriver, SchedulePolicy, StealConfig,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -225,6 +225,13 @@ fn work_steal_model_beats_static_half_split_on_skew() {
         schedule: SchedulePolicy::WorkSteal(StealConfig {
             batch_words: 32 * 1024,
             cpu_words_per_s: 2.0 * gpu_rate,
+            // Deterministic observations at the seed rate: calibration is
+            // a no-op on the schedule, and the model stays pinned to the
+            // probe-derived CPU rate this test reasons about.
+            calibration: CalibrationConfig {
+                cpu_true_words_per_s: Some(2.0 * gpu_rate),
+                ..Default::default()
+            },
             ..StealConfig::default()
         }),
         ..Default::default()
@@ -240,4 +247,162 @@ fn work_steal_model_beats_static_half_split_on_skew() {
         100.0 * improvement
     );
     assert!(ws.schedule.cpu_stole_heavy > 0, "the win must come from stealing bin-3 work");
+}
+
+/// Regression for the bin-2 deal bias: `j % k` dealing in descending size
+/// order handed batch 0 the larger item of every round, so the first-dealt
+/// batch systematically outweighed the last. The lightest-batch deal must
+/// keep max/min batch words tight even on an adversarial geometric size mix.
+#[test]
+fn light_batch_deal_balances_max_and_min_words() {
+    // Heavy size spread (1..=9 reads, many repeats) with no bin-3 tasks, so
+    // every scheduled batch is a light one.
+    let counts: Vec<usize> = (0..54).map(|i| 1 + i % 9).collect();
+    let tasks = tasks_from_counts(&counts, 11);
+    let params = LocalAssemblyParams::for_tests();
+    let bins = bin_tasks(&tasks);
+    let batches = build_batches(&tasks, &bins, &params, 16 * 1024);
+    let light: Vec<u64> = batches.iter().filter(|b| !b.heavy).map(|b| b.est_words).collect();
+    assert!(light.len() >= 3, "want several light batches, got {}", light.len());
+    let (min, max) = (*light.iter().min().unwrap(), *light.iter().max().unwrap());
+    assert!(
+        min as f64 >= 0.8 * max as f64,
+        "lightest-batch deal must balance words: min {min} vs max {max} ({light:?})"
+    );
+}
+
+/// The per-task cost the schedulers charge is clamped to >= 1 word even for
+/// a degenerate empty task, so no batch (and no LPT bin) can be free.
+#[test]
+fn task_cost_is_clamped_to_at_least_one_word() {
+    let params = LocalAssemblyParams::for_tests();
+    let empty =
+        ExtTask { contig: 0, end: ContigEnd::Right, tail: DnaSeq::new(), reads: Vec::new() };
+    assert!(estimate_task_cost(&empty, &params) >= 1);
+}
+
+/// A device death mid-run must not poison the CPU rate estimate: the CPU
+/// absorbs the rest of the deque, its observations keep arriving at the
+/// (deterministic) true rate, and the EWMA keeps converging.
+#[test]
+fn gpu_death_does_not_poison_cpu_rate_estimate() {
+    let counts: Vec<usize> = (0..64).map(|i| 1 + (i % 12)).collect();
+    let tasks = tasks_from_counts(&counts, 321);
+    let params = LocalAssemblyParams::for_tests();
+    let reference = extend_all_cpu(&tasks, &params);
+
+    let true_rate = 5.0e6;
+    let out = OverlapDriver {
+        device: DeviceConfig::tiny().with_fault_plan(fault_plan(2)), // hang storm → device lost
+        version: KernelVersion::V2,
+        schedule: SchedulePolicy::WorkSteal(StealConfig {
+            batch_words: 2 * 1024,
+            cpu_words_per_s: true_rate / 10.0, // 10× mis-seeded
+            calibration: CalibrationConfig {
+                cpu_true_words_per_s: Some(true_rate),
+                ..Default::default()
+            },
+            ..StealConfig::default()
+        }),
+    }
+    .run(&tasks, &params)
+    .expect("driver runs");
+    assert_eq!(out.results, reference, "device loss must not change results");
+
+    let cal = out.schedule.calibration.expect("work-steal attaches a calibration report");
+    assert!(cal.enabled);
+    assert!(
+        cal.cpu_updates >= 4,
+        "CPU must have absorbed several batches, got {}",
+        cal.cpu_updates
+    );
+    let ratio = cal.cpu_words_per_s / true_rate;
+    assert!(
+        (0.8..=1.25).contains(&ratio),
+        "estimate must converge to the true rate despite the dead GPU: {:.3e} vs {true_rate:.3e}",
+        cal.cpu_words_per_s
+    );
+    assert!(
+        cal.cpu_words_per_s > cal.cpu_seed_words_per_s,
+        "estimate must have moved off the low seed"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Calibration sweep: random true-rate × seed-rate mis-matches (up to
+    /// 100× in either direction) under every fault plan. (a) results stay
+    /// byte-identical to the CPU reference; (b) whenever the CPU engine ran
+    /// at all, the converged estimate is no farther from the truth than the
+    /// seed was (EWMA against constant-truth observations moves toward the
+    /// truth monotonically, so this holds for every update count).
+    #[test]
+    fn calibration_is_identity_preserving_and_convergent(
+        counts in proptest::collection::vec(0usize..=24, 1..=24),
+        seed in 0u64..1_000,
+        fault_kind in 0usize..3,
+        true_exp in -1i32..=1,
+        seed_exp in -1i32..=1,
+    ) {
+        let tasks = tasks_from_counts(&counts, seed);
+        let params = LocalAssemblyParams::for_tests();
+        let reference = extend_all_cpu(&tasks, &params);
+        let true_rate = 5.0e6 * 100f64.powi(true_exp);
+        let seed_rate = 5.0e6 * 100f64.powi(seed_exp);
+
+        let out = OverlapDriver {
+            device: DeviceConfig::tiny().with_fault_plan(fault_plan(fault_kind)),
+            version: KernelVersion::V2,
+            schedule: SchedulePolicy::WorkSteal(StealConfig {
+                batch_words: 8 * 1024,
+                cpu_words_per_s: seed_rate,
+                calibration: CalibrationConfig {
+                    cpu_true_words_per_s: Some(true_rate),
+                    ..Default::default()
+                },
+                ..StealConfig::default()
+            }),
+        }
+        .run(&tasks, &params)
+        .expect("driver runs");
+        prop_assert_eq!(&out.results, &reference);
+
+        let cal = out.schedule.calibration.as_ref().expect("calibration report attached");
+        prop_assert_eq!(cal.cpu_seed_words_per_s, seed_rate);
+        if cal.cpu_updates > 0 {
+            let err_final = (cal.cpu_words_per_s / true_rate).ln().abs();
+            let err_seed = (seed_rate / true_rate).ln().abs();
+            prop_assert!(
+                err_final <= err_seed + 1e-9,
+                "estimate {:.3e} drifted farther from truth {:.3e} than seed {:.3e}",
+                cal.cpu_words_per_s, true_rate, seed_rate
+            );
+        }
+    }
+
+    /// All-empty-tasks degenerate input: every task is bin 1 (answered
+    /// host-side), nothing reaches the deque, and the run stays
+    /// byte-identical with a well-formed report under any policy.
+    #[test]
+    fn all_empty_tasks_never_wedge_the_scheduler(
+        n in 1usize..=20,
+        work_steal in any::<bool>(),
+    ) {
+        let counts = vec![0usize; n];
+        let tasks = tasks_from_counts(&counts, 5);
+        let params = LocalAssemblyParams::for_tests();
+        let reference = extend_all_cpu(&tasks, &params);
+        let driver = if work_steal {
+            OverlapDriver::default()
+        } else {
+            OverlapDriver::static_split(0.5)
+        };
+        let out = OverlapDriver { device: DeviceConfig::tiny(), ..driver }
+            .run(&tasks, &params)
+            .expect("driver runs");
+        prop_assert_eq!(&out.results, &reference);
+        prop_assert_eq!(out.zero_tasks, n);
+        prop_assert_eq!(out.cpu_tasks + out.gpu_tasks, 0);
+    }
 }
