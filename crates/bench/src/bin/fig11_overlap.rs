@@ -211,6 +211,128 @@ fn main() {
          convergence budget, got {uncal_worst:.6} vs oracle {oracle_mk:.6}"
     );
 
+    // --- per-bin rate-model ablation: bins with genuinely different CPU
+    // cost profiles (bin 2 scattered at 0.4x the pooled figure, bin 3
+    // cache-friendly at 2.5x). The pooled EWMA must average the two and
+    // mis-model the CPU clock; the per-bin model prices each bin at its
+    // own converged rate, so its clock tracks the realized CPU time
+    // tighter. Model error here is the CPU-clock error |model − realized|
+    // / realized — the GPU clock advances by direct observation and never
+    // contributes model error.
+    let bin2_true = 0.4 * cpu_rate;
+    let bin3_true = 2.5 * cpu_rate;
+    let per_bin_run = |per_bin: bool| {
+        let out = OverlapDriver {
+            device: device.clone(),
+            schedule: SchedulePolicy::WorkSteal(StealConfig {
+                batch_words: 8 * 1024,
+                cpu_words_per_s: cpu_rate,
+                calibration: CalibrationConfig {
+                    per_bin,
+                    cpu_true_bin2_words_per_s: Some(bin2_true),
+                    cpu_true_bin3_words_per_s: Some(bin3_true),
+                    ..CalibrationConfig::default()
+                },
+                ..StealConfig::default()
+            }),
+            ..Default::default()
+        }
+        .run(&tasks, &params)
+        .expect("per-bin ablation run");
+        assert_eq!(
+            out.results, reference,
+            "per-bin model (per_bin {per_bin}) must stay byte-identical"
+        );
+        out.schedule
+    };
+    let cpu_model_err = |s: &locassm::ScheduleReport| {
+        let cal = s.calibration.as_ref().expect("work-steal reports calibration");
+        if cal.cpu_realized_s > 0.0 {
+            (s.cpu_model_s - cal.cpu_realized_s).abs() / cal.cpu_realized_s
+        } else {
+            0.0
+        }
+    };
+    let pooled_sched = per_bin_run(false);
+    let perbin_sched = per_bin_run(true);
+    let (pooled_err, perbin_err) = (cpu_model_err(&pooled_sched), cpu_model_err(&perbin_sched));
+    let perbin_cal = perbin_sched.calibration.as_ref().expect("calibration report");
+    println!("\nper-bin rate model (bin-2 true {bin2_true:.3e}, bin-3 true {bin3_true:.3e} w/s):");
+    println!("  pooled EWMA:  cpu-clock model error {:.2}%", 100.0 * pooled_err);
+    println!(
+        "  per-bin:      cpu-clock model error {:.2}% (bin-2 {:.3e} w/s x{}, bin-3 {:.3e} w/s x{})",
+        100.0 * perbin_err,
+        perbin_cal.cpu_bin2_words_per_s,
+        perbin_cal.cpu_bin2_updates,
+        perbin_cal.cpu_bin3_words_per_s,
+        perbin_cal.cpu_bin3_updates
+    );
+    assert!(
+        perbin_err <= pooled_err + 1e-9,
+        "per-bin model error must not exceed the pooled model's on a skewed mix: \
+         {perbin_err:.4} vs {pooled_err:.4}"
+    );
+
+    // --- adaptive drain-point batch sizing: coarse granularity makes the
+    // classic last-batch imbalance (one engine takes the final coarse
+    // chunk while the other idles). Adaptive sizing halves the steal
+    // granularity as the deque approaches `drain_factor x batch_words`,
+    // so the tail is dealt in slivers both engines can share. The slow
+    // engine here is the modeled CPU (a small host at half the GPU's
+    // rate): its cost is linear in words, so the overshoot is purely the
+    // last-batch effect with no launch-overhead confound, and rates are
+    // pinned so realized makespans are deterministic and comparable.
+    let coarse_words = (total_words / 4).max(1);
+    let drain_cpu_rate = 0.5 * gpu_rate;
+    let drain_run = |adaptive: bool| {
+        let out = OverlapDriver {
+            device: device.clone(),
+            schedule: SchedulePolicy::WorkSteal(StealConfig {
+                batch_words: coarse_words,
+                cpu_words_per_s: drain_cpu_rate,
+                adaptive_batch: adaptive,
+                drain_factor: 4.0,
+                min_batch_words: (coarse_words / 8).max(1),
+                calibration: CalibrationConfig {
+                    cpu_true_words_per_s: Some(drain_cpu_rate),
+                    ..CalibrationConfig::default()
+                },
+                ..StealConfig::default()
+            }),
+            ..Default::default()
+        }
+        .run(&tasks, &params)
+        .expect("drain ablation run");
+        assert_eq!(
+            out.results, reference,
+            "adaptive sizing (adaptive {adaptive}) must stay byte-identical"
+        );
+        out.schedule
+    };
+    let drain_static = drain_run(false);
+    let drain_adaptive = drain_run(true);
+    let drain_static_mk = drain_static.calibration.as_ref().expect("report").realized_makespan_s();
+    let drain_adaptive_mk =
+        drain_adaptive.calibration.as_ref().expect("report").realized_makespan_s();
+    let drain_gain = 100.0 * (drain_static_mk - drain_adaptive_mk) / drain_static_mk.max(1e-12);
+    println!("\nadaptive drain sizing (coarse batch {coarse_words} w):");
+    println!("  static granularity:   realized makespan {drain_static_mk:.6} s");
+    println!(
+        "  adaptive granularity: realized makespan {drain_adaptive_mk:.6} s \
+         ({drain_gain:.1}% better, {} drain splits, min issued {} w)",
+        drain_adaptive.drain_splits, drain_adaptive.min_issued_batch_words
+    );
+    assert!(drain_adaptive.drain_splits > 0, "the drain point must have fired");
+    assert!(
+        drain_adaptive.min_issued_batch_words >= 1,
+        "adaptive sizing must never issue a zero-word batch"
+    );
+    assert!(
+        drain_adaptive_mk < drain_static_mk,
+        "adaptive drain sizing must improve the realized makespan on the \
+         last-batch-imbalance scenario: {drain_adaptive_mk:.6} vs {drain_static_mk:.6}"
+    );
+
     // --- multi-GPU striping: round-robin vs LPT on the same skew.
     let balance_of = |policy: StripePolicy| {
         let multi =
@@ -314,6 +436,45 @@ fn main() {
         ("ws-cal-oracle", calibrated(cpu_rate)),
         ("ws-cal-mis-hi", calibrated(10.0 * cpu_rate)),
         ("ws-cal-mis-lo", calibrated(cpu_rate / 10.0)),
+        // PR 5 refinements: bin-resolved rate pricing and adaptive drain
+        // sizing reshape the schedule, so they must also leave the bytes
+        // untouched — alone and stacked.
+        (
+            "ws-perbin",
+            SchedulePolicy::WorkSteal(StealConfig {
+                calibration: CalibrationConfig {
+                    per_bin: true,
+                    cpu_true_bin2_words_per_s: Some(0.4 * cpu_rate),
+                    cpu_true_bin3_words_per_s: Some(2.5 * cpu_rate),
+                    ..CalibrationConfig::default()
+                },
+                ..steal_cfg.clone()
+            }),
+        ),
+        (
+            "ws-adaptive",
+            SchedulePolicy::WorkSteal(StealConfig {
+                adaptive_batch: true,
+                drain_factor: 4.0,
+                min_batch_words: 1024,
+                ..steal_cfg.clone()
+            }),
+        ),
+        (
+            "ws-perbin-adaptive",
+            SchedulePolicy::WorkSteal(StealConfig {
+                adaptive_batch: true,
+                drain_factor: 4.0,
+                min_batch_words: 1024,
+                calibration: CalibrationConfig {
+                    per_bin: true,
+                    cpu_true_bin2_words_per_s: Some(0.4 * cpu_rate),
+                    cpu_true_bin3_words_per_s: Some(2.5 * cpu_rate),
+                    ..CalibrationConfig::default()
+                },
+                ..steal_cfg.clone()
+            }),
+        ),
     ];
     let mut identical_configs = 0usize;
     for (fname, plan) in &fault_plans {
@@ -373,6 +534,26 @@ fn main() {
     let _ = writeln!(json, "  \"calibration_cpu_updates\": {},", cal_hi.cpu_updates);
     let _ =
         writeln!(json, "  \"calibration_rel_err_vs_realized\": {:.6},", oracle.rel_err_vs_realized);
+    let _ = writeln!(json, "  \"per_bin_pooled_model_err\": {pooled_err:.6},");
+    let _ = writeln!(json, "  \"per_bin_model_err\": {perbin_err:.6},");
+    let _ = writeln!(
+        json,
+        "  \"per_bin_cpu_bin2_words_per_s\": {:.3},",
+        perbin_cal.cpu_bin2_words_per_s
+    );
+    let _ = writeln!(
+        json,
+        "  \"per_bin_cpu_bin3_words_per_s\": {:.3},",
+        perbin_cal.cpu_bin3_words_per_s
+    );
+    let _ = writeln!(json, "  \"drain_static_makespan_s\": {drain_static_mk:.9},");
+    let _ = writeln!(json, "  \"drain_adaptive_makespan_s\": {drain_adaptive_mk:.9},");
+    let _ = writeln!(json, "  \"drain_splits\": {},", drain_adaptive.drain_splits);
+    let _ = writeln!(
+        json,
+        "  \"drain_min_issued_batch_words\": {},",
+        drain_adaptive.min_issued_batch_words
+    );
     let _ = writeln!(json, "  \"byte_identical_configs\": {identical_configs}");
     json.push_str("}\n");
     let out_path = std::path::Path::new("results").join("BENCH_overlap.json");

@@ -9,9 +9,13 @@ use crate::warp::{Lanes, WarpCtx, WARP};
 /// Associative operations supported by the butterfly ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReduceOp {
+    /// Wrapping integer sum.
     Add,
+    /// Minimum.
     Min,
+    /// Maximum.
     Max,
+    /// Bitwise OR.
     BitOr,
 }
 

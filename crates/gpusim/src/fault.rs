@@ -27,19 +27,33 @@ use serde::{Deserialize, Serialize};
 pub enum Fault {
     /// Deny the `at_alloc`-th allocation attempt (0-based, counted over the
     /// device's lifetime, including denied attempts).
-    SlabOom { at_alloc: u64 },
+    SlabOom {
+        /// 0-based allocation index at which the denial fires.
+        at_alloc: u64,
+    },
     /// Hang the `at_launch`-th launch attempt (0-based); the watchdog
     /// reports failure after `after_cycles` simulated core cycles, which
     /// are charged to the device's accumulated time.
-    KernelHang { at_launch: u64, after_cycles: u64 },
+    KernelHang {
+        /// 0-based launch index at which the hang fires.
+        at_launch: u64,
+        /// Simulated core cycles the watchdog waits before killing it.
+        after_cycles: u64,
+    },
     /// Corrupt the word at `addr` and fail the `at_launch`-th launch
     /// attempt with a detected-corruption error.
-    BitFlip { at_launch: u64, addr: u64 },
+    BitFlip {
+        /// 0-based launch index at which the corruption is detected.
+        at_launch: u64,
+        /// Device address of the corrupted word.
+        addr: u64,
+    },
 }
 
 /// A deterministic schedule of faults for one device.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct FaultPlan {
+    /// The faults, in no particular order; each fires at its own index.
     pub faults: Vec<Fault>,
 }
 
@@ -54,6 +68,7 @@ impl FaultPlan {
         FaultPlan { faults: vec![fault] }
     }
 
+    /// Whether the plan injects no faults at all.
     pub fn is_empty(&self) -> bool {
         self.faults.is_empty()
     }
@@ -90,12 +105,25 @@ impl FaultPlan {
 pub enum LaunchError {
     /// The watchdog killed a hung kernel after `after_cycles` cycles. The
     /// device context is lost; reset before launching again.
-    Hang { launch_idx: u64, after_cycles: u64 },
+    Hang {
+        /// 0-based index of the launch that hung.
+        launch_idx: u64,
+        /// Simulated cycles the watchdog charged before the kill.
+        after_cycles: u64,
+    },
     /// Uncorrectable memory corruption detected at the launch boundary.
     /// The device context is lost; reset before launching again.
-    MemCorruption { launch_idx: u64, addr: u64 },
+    MemCorruption {
+        /// 0-based index of the launch that hit the corruption.
+        launch_idx: u64,
+        /// Device address of the corrupted word.
+        addr: u64,
+    },
     /// Launch attempted on a device poisoned by an earlier fatal fault.
-    DeviceLost { launch_idx: u64 },
+    DeviceLost {
+        /// 0-based index of the rejected launch.
+        launch_idx: u64,
+    },
 }
 
 impl LaunchError {

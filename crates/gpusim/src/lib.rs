@@ -47,6 +47,7 @@
 
 // Lane-indexed `for l in 0..WARP` loops mirror the CUDA lockstep model the
 // simulator reproduces; iterator rewrites would obscure the lane index.
+#![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)]
 
 pub mod collectives;

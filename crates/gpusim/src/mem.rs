@@ -69,7 +69,9 @@ pub struct GlobalMem {
 /// Out-of-memory error for the simulated device.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeviceOom {
+    /// Words the failed allocation asked for.
     pub requested_words: u64,
+    /// Words that were still free at the time of the request.
     pub free_words: u64,
 }
 

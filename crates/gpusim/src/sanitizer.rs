@@ -124,6 +124,7 @@ impl SanitizerKind {
 /// kernel site ([`WarpCtx::set_site`](crate::warp::WarpCtx::set_site)).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SanitizerReport {
+    /// Which class of hazard was detected.
     pub kind: SanitizerKind,
     /// Launch index on the device the finding occurred in.
     pub launch: u64,
@@ -273,8 +274,8 @@ struct LaunchAccess {
 }
 
 /// The dynamic checker. Owned by [`Device`](crate::device::Device) when the
-/// config enables any analysis; threaded into every [`WarpCtx`]
-/// (crate::warp::WarpCtx) the device launches.
+/// config enables any analysis; threaded into every
+/// [`WarpCtx`](crate::warp::WarpCtx) the device launches.
 #[derive(Debug)]
 pub struct Sanitizer {
     config: SanitizerConfig,
@@ -289,6 +290,7 @@ pub struct Sanitizer {
 }
 
 impl Sanitizer {
+    /// A fresh sanitizer with empty shadow state for the given tool set.
     pub fn new(config: SanitizerConfig) -> Sanitizer {
         Sanitizer {
             config,

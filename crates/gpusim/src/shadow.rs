@@ -7,7 +7,7 @@
 //!
 //! * an address at or past the high-water mark has never been allocated —
 //!   **out of bounds**;
-//! * a word whose allocation epoch predates the last [`ShadowMemory::on_reset`]
+//! * a word whose allocation epoch predates the last reset
 //!   is reachable only through a stale [`Buf`](crate::mem::Buf) handle —
 //!   **use after reset**;
 //! * a word allocated without the `cudaMemset` guarantee
@@ -71,6 +71,7 @@ pub struct ShadowMemory {
 }
 
 impl ShadowMemory {
+    /// An empty shadow space with no recorded allocations.
     pub fn new() -> ShadowMemory {
         ShadowMemory::default()
     }
@@ -142,7 +143,8 @@ impl ShadowMemory {
         }
     }
 
-    /// The allocation record behind a 1-based id from [`MemIssue`].
+    /// The allocation record behind a 1-based id from a memory issue
+    /// ([`crate::sanitizer::SanitizerReport`]).
     pub fn alloc_record(&self, id: u32) -> Option<&AllocRecord> {
         (id >= 1).then(|| self.allocs.get(id as usize - 1)).flatten()
     }

@@ -62,9 +62,13 @@ impl TimingEstimate {
 /// The governing bottleneck of a launch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Bound {
+    /// Instruction-issue throughput limits the launch.
     Issue,
+    /// DRAM bandwidth (global transactions) limits the launch.
     Bandwidth,
+    /// Memory latency limits the launch (too few warps in flight).
     Latency,
+    /// L1/shared-memory throughput limits the launch.
     L1,
 }
 

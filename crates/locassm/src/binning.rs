@@ -34,8 +34,11 @@ pub fn bin_of(task: &ExtTask) -> Bin {
 /// Task indices split by bin, plus summary statistics.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct BinStats {
+    /// Bin 1: tasks with no candidate reads (answered host-side).
     pub zero: Vec<usize>,
+    /// Bin 2: tasks with fewer than `BIN2_LIMIT` candidate reads.
     pub small: Vec<usize>,
+    /// Bin 3: the read-heavy rest.
     pub large: Vec<usize>,
 }
 

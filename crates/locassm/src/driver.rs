@@ -38,11 +38,19 @@ use std::time::Instant;
 pub enum DriverError {
     /// An engine returned the wrong number of results for its task split —
     /// an internal invariant violation, not a recoverable device fault.
-    ResultMismatch { expected: usize, got: usize },
+    ResultMismatch {
+        /// Results the split said the engine should produce.
+        expected: usize,
+        /// Results the engine actually returned.
+        got: usize,
+    },
     /// The driver was configured with an out-of-domain knob (NaN or
     /// out-of-range fraction, zero batch granularity, non-positive rate).
     /// Rejected up front rather than silently misrouting work.
-    BadConfig { what: String },
+    BadConfig {
+        /// Which knob was rejected, and why.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for DriverError {
@@ -102,7 +110,9 @@ pub struct OverlapOutcome {
 
 /// The overlap driver.
 pub struct OverlapDriver {
+    /// Simulated device the GPU engine runs on (fault plan included).
     pub device: DeviceConfig,
+    /// Kernel version the GPU engine launches.
     pub version: KernelVersion,
     /// Scheduling policy (default: work-stealing).
     pub schedule: SchedulePolicy,
@@ -149,6 +159,15 @@ impl OverlapDriver {
                         "cpu_words_per_s must be positive and finite, got {}",
                         cfg.cpu_words_per_s
                     ));
+                }
+                if !cfg.drain_factor.is_finite() || cfg.drain_factor <= 0.0 {
+                    return bad(format!(
+                        "drain_factor must be positive and finite, got {}",
+                        cfg.drain_factor
+                    ));
+                }
+                if cfg.min_batch_words == 0 {
+                    return bad("min_batch_words must be >= 1".to_string());
                 }
                 if let Err(what) = cfg.calibration.validate() {
                     return bad(what);
@@ -457,17 +476,70 @@ mod tests {
                 .expect_err("bad cpu rate must be rejected");
             assert!(matches!(err, DriverError::BadConfig { .. }), "rate {rate}");
         }
+        for df in [0.0, -2.0, f64::NAN, f64::INFINITY] {
+            let err =
+                ws(StealConfig { adaptive_batch: true, drain_factor: df, ..Default::default() })
+                    .run(&tasks, &params)
+                    .expect_err("bad drain_factor must be rejected");
+            assert!(matches!(err, DriverError::BadConfig { .. }), "drain_factor {df}");
+        }
+        let err = ws(StealConfig { min_batch_words: 0, ..Default::default() })
+            .run(&tasks, &params)
+            .expect_err("zero min_batch_words must be rejected");
+        assert!(matches!(err, DriverError::BadConfig { .. }));
         use crate::calibrate::CalibrationConfig;
         for cal in [
             CalibrationConfig { alpha: 0.0, ..Default::default() },
             CalibrationConfig { alpha: f64::NAN, ..Default::default() },
             CalibrationConfig { cpu_true_words_per_s: Some(-1.0), ..Default::default() },
+            CalibrationConfig { per_bin: true, enabled: false, ..Default::default() },
+            CalibrationConfig { min_bin_obs: 0, ..Default::default() },
         ] {
             let err = ws(StealConfig { calibration: cal.clone(), ..Default::default() })
                 .run(&tasks, &params)
                 .expect_err("bad calibration config must be rejected");
             assert!(matches!(err, DriverError::BadConfig { .. }), "calibration {cal:?}");
         }
+    }
+
+    #[test]
+    fn per_bin_and_adaptive_match_pure_cpu() {
+        use crate::calibrate::CalibrationConfig;
+        let tasks = tasks_with_mixed_bins();
+        let params = LocalAssemblyParams::for_tests();
+        let pure = extend_all_cpu(&tasks, &params);
+        let driver = OverlapDriver {
+            schedule: SchedulePolicy::WorkSteal(StealConfig {
+                batch_words: 4 * 1024,
+                adaptive_batch: true,
+                min_batch_words: 256,
+                calibration: CalibrationConfig {
+                    per_bin: true,
+                    min_bin_obs: 1,
+                    cpu_true_bin2_words_per_s: Some(1.0e6),
+                    cpu_true_bin3_words_per_s: Some(4.0e6),
+                    ..Default::default()
+                },
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let outcome = driver.run(&tasks, &params).expect("driver runs");
+        assert_eq!(outcome.results, pure, "new knobs must not change results");
+        assert!(outcome.schedule.adaptive_batch);
+        assert!(outcome.schedule.min_issued_batch_words >= 1, "no issued batch may be zero words");
+        let cal = outcome.schedule.calibration.expect("work-steal reports calibration");
+        assert!(cal.per_bin);
+        assert_eq!(
+            cal.cpu_bin2_updates + cal.cpu_bin3_updates,
+            cal.cpu_updates,
+            "every CPU observation lands in exactly one bin"
+        );
+        assert_eq!(
+            cal.gpu_bin2_updates + cal.gpu_bin3_updates,
+            cal.gpu_updates,
+            "every GPU observation lands in exactly one bin"
+        );
     }
 
     #[test]
@@ -531,6 +603,7 @@ mod tests {
                 // clocks the CPU would be recognized as fast and steal the
                 // batches this test needs on the GPU.
                 calibration: crate::calibrate::CalibrationConfig::off(),
+                ..Default::default()
             }),
             ..Default::default()
         };

@@ -103,7 +103,7 @@ pub struct GpuRunStats {
     /// Simulated device seconds (kernels + launch overheads).
     pub seconds: f64,
     /// Modeled host seconds spent packing batches (CPU-side data packing +
-    /// H2D of Figure 4, charged at [`GpuLocalAssembler::pack_words_per_s`]).
+    /// H2D of Figure 4, charged at the engine's modeled pack rate).
     pub pack_s: f64,
     /// Seconds of `pack_s` hidden under kernel execution by the
     /// double-buffered pipeline (pack batch N+1 while batch N executes).

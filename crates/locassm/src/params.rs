@@ -91,7 +91,9 @@ impl WalkState {
 /// Direction of the previous k shift.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ShiftDir {
+    /// k was last shifted up (after a fork).
     Up,
+    /// k was last shifted down (after a dead end).
     Down,
 }
 

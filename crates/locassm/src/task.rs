@@ -14,7 +14,9 @@ use crate::params::WalkState;
 /// Which contig end a task extends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ContigEnd {
+    /// Extend leftward (the tail is the reverse complement of the prefix).
     Left,
+    /// Extend rightward from the contig's suffix.
     Right,
 }
 
@@ -58,7 +60,12 @@ pub enum TaskOutcome {
     /// The task completed (on the device or via CPU fallback).
     Done(ExtResult),
     /// The task failed everywhere it was tried; it contributes no bases.
-    Failed { contig: usize, reason: String },
+    Failed {
+        /// Index of the contig whose extension failed.
+        contig: usize,
+        /// Human-readable failure cause (panic payload or engine error).
+        reason: String,
+    },
 }
 
 impl TaskOutcome {
@@ -70,6 +77,7 @@ impl TaskOutcome {
         }
     }
 
+    /// Whether this outcome is the [`TaskOutcome::Failed`] arm.
     pub fn is_failed(&self) -> bool {
         matches!(self, TaskOutcome::Failed { .. })
     }

@@ -92,6 +92,7 @@ USAGE:
   mhm2rs assemble --r1 FILE --r2 FILE --out DIR
       [--k N] [--gpu] [--kernel v1|v2] [--iterative] [--refs FILE] [--sanitize]
       [--overlap] [--cpu-bin2-fraction F] [--calibrate] [--cpu-words-per-s R]
+      [--per-bin-rates] [--adaptive-batch]
       Assemble paired FASTQ into contigs.fasta + scaffolds.fasta.
       --sanitize runs the GPU engine under gpucheck (memcheck + racecheck +
       synccheck) and appends its findings to the report; implies --gpu.
@@ -102,9 +103,13 @@ USAGE:
       --cpu-words-per-s R pins the scheduler's CPU-throughput model to R
       words/s and turns the online rate calibration OFF — R is an explicit
       override, trusted as-is. Add --calibrate to use R only as the seed
-      and let observed batch times take over. Either flag implies
-      --overlap; both conflict with --cpu-bin2-fraction (the static split
-      has no rate model).
+      and let observed batch times take over.
+      --per-bin-rates resolves the calibrated rates per bin (bin-2 vs
+      bin-3 estimators with the pooled EWMA as prior; implies --calibrate).
+      --adaptive-batch shrinks steal batches geometrically near the drain
+      point so the last batch cannot strand an engine idle.
+      Any of these scheduler flags implies --overlap; all conflict with
+      --cpu-bin2-fraction (the static split has no rate model or deque).
 ";
 
 /// Entry point shared by main() and the tests.
@@ -173,15 +178,22 @@ pub fn run_assemble(cli: &CliArgs) -> Result<String, String> {
             Some(rate)
         }
     };
-    if (calibrate || rate_override.is_some()) && cli.get("cpu-bin2-fraction").is_some() {
-        return Err("--calibrate/--cpu-words-per-s need the work-stealing scheduler and cannot \
-             be combined with the static --cpu-bin2-fraction split"
+    let per_bin = cli.has("per-bin-rates");
+    let adaptive = cli.has("adaptive-batch");
+    if (calibrate || rate_override.is_some() || per_bin || adaptive)
+        && cli.get("cpu-bin2-fraction").is_some()
+    {
+        return Err("--calibrate/--cpu-words-per-s/--per-bin-rates/--adaptive-batch need the \
+             work-stealing scheduler and cannot be combined with the static \
+             --cpu-bin2-fraction split"
             .to_string());
     }
     let overlap = cli.has("overlap")
         || cli.get("cpu-bin2-fraction").is_some()
         || calibrate
-        || rate_override.is_some();
+        || rate_override.is_some()
+        || per_bin
+        || adaptive;
     if sanitize || overlap || cli.has("gpu") || cli.get("kernel").is_some() {
         let version = match cli.get("kernel").unwrap_or("v2") {
             "v1" => KernelVersion::V1,
@@ -208,11 +220,18 @@ pub fn run_assemble(cli: &CliArgs) -> Result<String, String> {
                     if let Some(rate) = rate_override {
                         steal.cpu_words_per_s = rate;
                         // An explicit rate is a statement of fact: hold it
-                        // unless the user also asked for the feedback loop.
-                        if !calibrate {
+                        // unless the user also asked for the feedback loop
+                        // (--per-bin-rates implies it — per-bin resolution
+                        // is meaningless without observations).
+                        if !calibrate && !per_bin {
                             steal.calibration = locassm::CalibrationConfig::off();
                         }
                     }
+                    if per_bin {
+                        steal.calibration.enabled = true;
+                        steal.calibration.per_bin = true;
+                    }
+                    steal.adaptive_batch = adaptive;
                     locassm::SchedulePolicy::WorkSteal(steal)
                 }
             };
@@ -529,6 +548,68 @@ mod tests {
         )))
         .expect_err("static split has no rate model");
         assert!(err.contains("static"), "{err}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn per_bin_and_adaptive_flags_drive_the_scheduler() {
+        let dir = std::env::temp_dir().join(format!("mhm2rs_perbin_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_string_lossy().to_string();
+        run(&argv(&format!("simulate --out {out} --preset arctic --scale 0.01")))
+            .expect("simulate");
+
+        run(&argv(&format!(
+            "assemble --r1 {out}/reads_1.fastq --r2 {out}/reads_2.fastq --out {out}/asm"
+        )))
+        .expect("cpu assemble");
+        let cpu = std::fs::read_to_string(dir.join("asm/contigs.fasta")).unwrap();
+
+        // --per-bin-rates alone: implies --overlap and --calibrate; the
+        // report shows bin-resolved pricing; contigs stay byte-identical.
+        let report = run(&argv(&format!(
+            "assemble --r1 {out}/reads_1.fastq --r2 {out}/reads_2.fastq --out {out}/asm_pb \
+             --per-bin-rates"
+        )))
+        .expect("per-bin assemble");
+        assert!(report.contains("overlap scheduler (work-steal)"), "{report}");
+        assert!(report.contains("on (EWMA feedback)"), "{report}");
+        assert!(report.contains("per-bin rates"), "{report}");
+        let pb = std::fs::read_to_string(dir.join("asm_pb/contigs.fasta")).unwrap();
+        assert_eq!(cpu, pb);
+
+        // --per-bin-rates with a pinned rate: the override seeds the model
+        // but per-bin resolution forces the feedback loop back on.
+        let report = run(&argv(&format!(
+            "assemble --r1 {out}/reads_1.fastq --r2 {out}/reads_2.fastq --out {out}/asm_pbr \
+             --per-bin-rates --cpu-words-per-s 1e6"
+        )))
+        .expect("per-bin + pinned-seed assemble");
+        assert!(report.contains("on (EWMA feedback)"), "{report}");
+        assert!(report.contains("seed 1.000e6"), "{report}");
+
+        // --adaptive-batch: implies --overlap; the report carries the
+        // drain-split line; contigs stay byte-identical.
+        let report = run(&argv(&format!(
+            "assemble --r1 {out}/reads_1.fastq --r2 {out}/reads_2.fastq --out {out}/asm_ab \
+             --adaptive-batch"
+        )))
+        .expect("adaptive assemble");
+        assert!(report.contains("overlap scheduler (work-steal)"), "{report}");
+        assert!(report.contains("adaptive batches"), "{report}");
+        let ab = std::fs::read_to_string(dir.join("asm_ab/contigs.fasta")).unwrap();
+        assert_eq!(cpu, ab);
+
+        // Both conflict with the static split.
+        for flag in ["--per-bin-rates", "--adaptive-batch"] {
+            let err = run(&argv(&format!(
+                "assemble --r1 {out}/reads_1.fastq --r2 {out}/reads_2.fastq \
+                 --out {out}/asm_bad {flag} --cpu-bin2-fraction 0.5"
+            )))
+            .expect_err("static split conflict must be rejected");
+            assert!(err.contains("static"), "{flag}: {err}");
+        }
 
         let _ = std::fs::remove_dir_all(&dir);
     }

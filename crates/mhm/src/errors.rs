@@ -2,7 +2,7 @@
 //!
 //! Written in the `thiserror` idiom with the derive spelled out by hand —
 //! this workspace vendors every dependency and carries no proc macros —
-//! so each variant gets a `#[error("...")]`-style [`Display`] message and
+//! so each variant gets a `#[error("...")]`-style [`Display`](std::fmt::Display) message and
 //! a [`source`](std::error::Error::source) where an underlying error
 //! exists.
 //!

@@ -3,7 +3,7 @@
 //! The only task so far is `lint-kernels`: a static pass over the
 //! warp-centric kernel sources enforcing the memory-access discipline the
 //! `gpucheck` sanitizer assumes. Kernel code must go through the
-//! [`WarpCtx`] operations and `Buf::at`/`Buf::slice` addressing — raw
+//! `WarpCtx` operations and `Buf::at`/`Buf::slice` addressing — raw
 //! `GlobalMem` access, `.addr` arithmetic, `unwrap`/`expect` in data
 //! paths, and `unsafe` all bypass the instrumentation (and on real
 //! hardware, the equivalent of `compute-sanitizer`'s patching), so they

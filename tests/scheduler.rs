@@ -381,6 +381,182 @@ proptest! {
         }
     }
 
+    /// Per-bin calibration: with bin-2 and bin-3 truths set 10x apart, each
+    /// bin's estimate must converge to *its own* truth — independently of
+    /// the skew of the mix — and results stay byte-identical. Observations
+    /// arrive at a constant per-bin truth and the bin estimators start
+    /// unseeded, so any bin that fired at all must sit exactly on its truth.
+    #[test]
+    fn per_bin_estimates_converge_independently_under_skewed_mixes(
+        light in proptest::collection::vec(1usize..=6, 0..=20),
+        heavy in proptest::collection::vec(12usize..=24, 0..=12),
+        seed in 0u64..1_000,
+        fault_kind in 0usize..3,
+    ) {
+        // Arbitrary skew: anywhere from all-bin-2 to all-bin-3.
+        let mut counts: Vec<usize> = light.iter().chain(heavy.iter()).copied().collect();
+        if counts.is_empty() {
+            counts.push(3);
+        }
+        let tasks = tasks_from_counts(&counts, seed);
+        let params = LocalAssemblyParams::for_tests();
+        let reference = extend_all_cpu(&tasks, &params);
+        let (bin2_true, bin3_true) = (2.0e6, 2.0e7);
+
+        let out = OverlapDriver {
+            device: DeviceConfig::tiny().with_fault_plan(fault_plan(fault_kind)),
+            version: KernelVersion::V2,
+            schedule: SchedulePolicy::WorkSteal(StealConfig {
+                batch_words: 4 * 1024,
+                cpu_words_per_s: 5.0e6,
+                calibration: CalibrationConfig {
+                    per_bin: true,
+                    min_bin_obs: 2,
+                    cpu_true_bin2_words_per_s: Some(bin2_true),
+                    cpu_true_bin3_words_per_s: Some(bin3_true),
+                    ..Default::default()
+                },
+                ..StealConfig::default()
+            }),
+        }
+        .run(&tasks, &params)
+        .expect("driver runs");
+        prop_assert_eq!(&out.results, &reference);
+
+        let cal = out.schedule.calibration.as_ref().expect("calibration report attached");
+        prop_assert!(cal.per_bin);
+        if cal.cpu_bin2_updates > 0 {
+            let rel = (cal.cpu_bin2_words_per_s / bin2_true - 1.0).abs();
+            prop_assert!(rel < 1e-9, "bin-2 estimate {:.6e} != truth {bin2_true:.6e}",
+                cal.cpu_bin2_words_per_s);
+        }
+        if cal.cpu_bin3_updates > 0 {
+            let rel = (cal.cpu_bin3_words_per_s / bin3_true - 1.0).abs();
+            prop_assert!(rel < 1e-9, "bin-3 estimate {:.6e} != truth {bin3_true:.6e}",
+                cal.cpu_bin3_words_per_s);
+        }
+        // Every CPU observation landed in exactly one bin.
+        prop_assert_eq!(cal.cpu_bin2_updates + cal.cpu_bin3_updates, cal.cpu_updates);
+    }
+
+    /// Adaptive drain sizing must never issue a zero-word batch, for any
+    /// combination of granularity, drain factor, and floor — and the split
+    /// bookkeeping must conserve both results and estimated words.
+    #[test]
+    fn adaptive_sizing_never_issues_a_zero_word_batch(
+        counts in proptest::collection::vec(0usize..=24, 1..=24),
+        seed in 0u64..1_000,
+        fault_kind in 0usize..3,
+        batch_kib in (0usize..3).prop_map(|i| [2u64, 8, 64][i]),
+        drain_factor in (0usize..3).prop_map(|i| [1.5f64, 4.0, 16.0][i]),
+        min_batch_words in (0usize..3).prop_map(|i| [1u64, 512, 1 << 20][i]),
+    ) {
+        let tasks = tasks_from_counts(&counts, seed);
+        let params = LocalAssemblyParams::for_tests();
+        let reference = extend_all_cpu(&tasks, &params);
+        // Bin-1 tasks (no reads) are answered host-side before the deque is
+        // built, so only read-bearing tasks contribute scheduled words.
+        let total: u64 = tasks
+            .iter()
+            .filter(|t| !t.reads.is_empty())
+            .map(|t| estimate_task_words(t, &params))
+            .sum();
+
+        let out = OverlapDriver {
+            device: DeviceConfig::tiny().with_fault_plan(fault_plan(fault_kind)),
+            version: KernelVersion::V2,
+            schedule: SchedulePolicy::WorkSteal(StealConfig {
+                batch_words: batch_kib * 1024,
+                adaptive_batch: true,
+                drain_factor,
+                min_batch_words,
+                ..StealConfig::default()
+            }),
+        }
+        .run(&tasks, &params)
+        .expect("driver runs");
+        prop_assert_eq!(&out.results, &reference);
+        let sched = &out.schedule;
+        prop_assert!(sched.adaptive_batch);
+        if sched.batches > 0 {
+            prop_assert!(
+                sched.min_issued_batch_words >= 1,
+                "issued a zero-word batch (drain_splits {})", sched.drain_splits
+            );
+        }
+        prop_assert_eq!(sched.cpu_est_words + sched.gpu_est_words, total);
+    }
+
+    /// Off-switch contract: with `per_bin` and `adaptive_batch` both off,
+    /// the schedule must be identical to the PR 4 scheduler no matter what
+    /// the (inert) new knobs are set to — same batch counts, same steal
+    /// decisions, bit-identical virtual clocks — under every fault plan.
+    #[test]
+    fn disabled_features_reproduce_the_baseline_schedule(
+        counts in proptest::collection::vec(0usize..=24, 1..=24),
+        seed in 0u64..1_000,
+        fault_kind in 0usize..3,
+        drain_factor in (0usize..3).prop_map(|i| [1.5f64, 7.0, 64.0][i]),
+        min_batch_words in (0usize..3).prop_map(|i| [1u64, 4096, 1 << 20][i]),
+        min_bin_obs in 1u64..=9,
+    ) {
+        let tasks = tasks_from_counts(&counts, seed);
+        let params = LocalAssemblyParams::for_tests();
+        let reference = extend_all_cpu(&tasks, &params);
+        let run = |cfg: StealConfig| {
+            OverlapDriver {
+                device: DeviceConfig::tiny().with_fault_plan(fault_plan(fault_kind)),
+                version: KernelVersion::V2,
+                schedule: SchedulePolicy::WorkSteal(cfg),
+            }
+            .run(&tasks, &params)
+            .expect("driver runs")
+        };
+        // Pin the observation source: without a configured truth the
+        // calibration loop observes host wall seconds, and the CPU clock
+        // would not be reproducible across the two runs being compared.
+        let base = run(StealConfig {
+            calibration: CalibrationConfig {
+                cpu_true_words_per_s: Some(5.0e6),
+                ..Default::default()
+            },
+            ..StealConfig::default()
+        });
+        let knobbed = run(StealConfig {
+            adaptive_batch: false,
+            drain_factor,
+            min_batch_words,
+            calibration: CalibrationConfig {
+                per_bin: false,
+                min_bin_obs,
+                cpu_true_words_per_s: Some(5.0e6),
+                ..Default::default()
+            },
+            ..StealConfig::default()
+        });
+        prop_assert_eq!(&base.results, &reference);
+        prop_assert_eq!(&knobbed.results, &reference);
+
+        let (a, b) = (&base.schedule, &knobbed.schedule);
+        prop_assert_eq!(a.batches, b.batches);
+        prop_assert_eq!(a.gpu_batches, b.gpu_batches);
+        prop_assert_eq!(a.cpu_batches, b.cpu_batches);
+        prop_assert_eq!(a.cpu_stole_heavy, b.cpu_stole_heavy);
+        prop_assert_eq!(a.gpu_absorbed_light, b.gpu_absorbed_light);
+        prop_assert_eq!(a.cpu_est_words, b.cpu_est_words);
+        prop_assert_eq!(a.gpu_est_words, b.gpu_est_words);
+        // The CPU clock is fully modeled, so it must agree to the bit. The
+        // GPU clock includes host-measured pack seconds and is not
+        // bit-reproducible run-to-run, so it is not compared here.
+        prop_assert_eq!(a.cpu_model_s.to_bits(), b.cpu_model_s.to_bits());
+        prop_assert_eq!(a.min_issued_batch_words, b.min_issued_batch_words);
+        prop_assert_eq!(a.drain_splits, 0);
+        prop_assert_eq!(b.drain_splits, 0);
+        prop_assert!(!b.adaptive_batch);
+        let bc = b.calibration.as_ref().expect("calibration report attached");
+        prop_assert!(!bc.per_bin);
+    }
+
     /// All-empty-tasks degenerate input: every task is bin 1 (answered
     /// host-side), nothing reaches the deque, and the run stays
     /// byte-identical with a well-formed report under any policy.

@@ -148,7 +148,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Accepted length arguments for [`vec`]: a fixed size or a half-open
+    /// Accepted length arguments for [`vec()`](vec()): a fixed size or a half-open
     /// range of sizes.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
